@@ -1,0 +1,85 @@
+// Command svtbench regenerates the tables and figures of "Using SMT to
+// Accelerate Nested Virtualization" (ISCA'19) on the simulated testbed.
+//
+// Usage:
+//
+//	svtbench -all            regenerate everything (full-length runs)
+//	svtbench -all -quick     regenerate everything with shortened runs
+//	svtbench -table 1        one table (1, 3 or 4)
+//	svtbench -figure 7       one figure (6–10)
+//	svtbench -micro channels the §6.1 communication-channel study
+//	svtbench -profile        the §6.2/§6.3 exit-reason profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"svtsim"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "regenerate every table and figure")
+		quick   = flag.Bool("quick", false, "shortened runs")
+		table   = flag.Int("table", 0, "regenerate one table (1, 3, 4)")
+		figure  = flag.Int("figure", 0, "regenerate one figure (6-10)")
+		micro   = flag.String("micro", "", "micro study to run (channels)")
+		profile = flag.Bool("profile", false, "exit-reason profiles (6.2/6.3)")
+		root    = flag.String("root", ".", "repository root (for Table 3 line counts)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	n := 2000
+	if *quick {
+		n = 400
+	}
+	ran := false
+	if *all || *table == 1 {
+		svtsim.ReportTable1(w, n)
+		ran = true
+	}
+	if *all || *table == 3 {
+		svtsim.ReportTable3(w, *root)
+		ran = true
+	}
+	if *all || *table == 4 {
+		svtsim.ReportTable4(w)
+		ran = true
+	}
+	if *all || *figure == 6 {
+		svtsim.ReportFigure6(w, n)
+		ran = true
+	}
+	if *all || *figure == 7 {
+		svtsim.ReportFigure7(w, *quick)
+		ran = true
+	}
+	if *all || *figure == 8 {
+		svtsim.ReportFigure8(w, *quick)
+		ran = true
+	}
+	if *all || *figure == 9 {
+		svtsim.ReportFigure9(w, *quick)
+		ran = true
+	}
+	if *all || *figure == 10 {
+		svtsim.ReportFigure10(w, *quick)
+		ran = true
+	}
+	if *all || *micro == "channels" {
+		svtsim.ReportChannels(w, *quick)
+		ran = true
+	}
+	if *all || *profile {
+		svtsim.ReportProfiles(w)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "nothing selected; try -all, -table N, -figure N, -micro channels or -profile")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

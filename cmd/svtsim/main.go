@@ -1,0 +1,90 @@
+// Command svtsim runs a single workload on the simulated nested
+// virtualization stack and reports its performance under one of the three
+// system variants.
+//
+// Usage:
+//
+//	svtsim -mode baseline -workload cpuid -n 1000
+//	svtsim -mode sw-svt   -workload netrr -n 200
+//	svtsim -mode hw-svt   -workload diskrd -n 200
+//	svtsim -mode sw-svt   -workload tpcc -dur 1s
+//	svtsim -mode baseline -workload video -fps 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"svtsim"
+)
+
+func parseMode(s string) (svtsim.Mode, error) {
+	switch s {
+	case "baseline":
+		return svtsim.Baseline, nil
+	case "sw-svt", "sw":
+		return svtsim.SWSVt, nil
+	case "hw-svt", "hw":
+		return svtsim.HWSVt, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (baseline, sw-svt, hw-svt)", s)
+	}
+}
+
+func main() {
+	var (
+		modeStr  = flag.String("mode", "baseline", "system variant: baseline, sw-svt, hw-svt")
+		workload = flag.String("workload", "cpuid", "cpuid, netrr, stream, diskrd, diskwr, memcached, tpcc, video")
+		n        = flag.Int("n", 500, "iterations (cpuid/netrr/disk*)")
+		dur      = flag.Duration("dur", time.Second, "duration (stream/memcached/tpcc)")
+		rate     = flag.Float64("rate", 10000, "offered load in requests/s (memcached)")
+		fps      = flag.Int("fps", 120, "frame rate (video)")
+		trace    = flag.Int("trace", 0, "dump the last N VM exits after a cpuid run")
+	)
+	flag.Parse()
+
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d := svtsim.Time(dur.Nanoseconds())
+
+	switch *workload {
+	case "cpuid":
+		r := svtsim.CPUIDNested(mode, *n)
+		fmt.Printf("nested cpuid (%s): %v per instruction\n", mode, r.PerOp)
+		if *trace > 0 {
+			for _, e := range svtsim.TraceNestedCPUID(mode, *n, *trace) {
+				fmt.Println(" ", e.String())
+			}
+		}
+	case "netrr":
+		r := svtsim.NetLatency(mode, *n)
+		fmt.Printf("netperf TCP_RR (%s): mean %.1f us, p99 %.1f us\n", mode, r.MeanUs, r.P99Us)
+	case "stream":
+		r := svtsim.NetBandwidth(mode, d)
+		fmt.Printf("netperf TCP_STREAM (%s): %.0f Mbps\n", mode, r.Mbps)
+	case "diskrd":
+		r := svtsim.DiskLatency(mode, false, *n)
+		fmt.Printf("ioping randread (%s): mean %.1f us\n", mode, r.MeanUs)
+	case "diskwr":
+		r := svtsim.DiskLatency(mode, true, *n)
+		fmt.Printf("ioping randwrite (%s): mean %.1f us\n", mode, r.MeanUs)
+	case "memcached":
+		r := svtsim.Memcached(mode, *rate, d)
+		fmt.Printf("memcached ETC @%.0f q/s (%s): avg %.0f us, p99 %.0f us, served %d\n",
+			*rate, mode, r.AvgUs, r.P99Us, r.Served)
+	case "tpcc":
+		ktpm := svtsim.TPCC(mode, d)
+		fmt.Printf("TPC-C (%s): %.2f ktpm\n", mode, ktpm)
+	case "video":
+		r := svtsim.VideoN(mode, *fps, *fps*60)
+		fmt.Printf("video %d FPS (%s): %d dropped / %d played (60 s)\n", *fps, mode, r.Dropped, r.Played)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+}

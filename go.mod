@@ -1,0 +1,3 @@
+module svtsim
+
+go 1.22

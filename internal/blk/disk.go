@@ -1,0 +1,123 @@
+// Package blk models the storage substrate: the paper loads VM disk
+// images into a tmpfs "to make accesses independent of storage
+// technologies" (§6), so the backing store here is RAM with a small,
+// fixed service-time model (request processing + memory copy bandwidth)
+// and serial request service per device.
+package blk
+
+import (
+	"fmt"
+
+	"svtsim/internal/mem"
+	"svtsim/internal/sim"
+)
+
+// SectorSize is the addressing granularity.
+const SectorSize = 512
+
+// Disk is a ramdisk with a latency model. It implements
+// virtio.BlkTransport.
+type Disk struct {
+	Eng  *sim.Engine
+	Name string
+
+	store    *mem.Memory
+	capacity uint64
+
+	// Service model: done = max(now, busyUntil) + Base + size/Rate.
+	ReadBase    sim.Time
+	WriteBase   sim.Time
+	BytesPerSec float64
+
+	busyUntil sim.Time
+
+	Reads  uint64
+	Writes uint64
+	Errors uint64
+}
+
+// NewDisk builds a ramdisk of the given capacity in bytes.
+func NewDisk(eng *sim.Engine, name string, capacity uint64) *Disk {
+	return &Disk{
+		Eng:         eng,
+		Name:        name,
+		store:       mem.New(capacity),
+		capacity:    capacity,
+		ReadBase:    3 * sim.Microsecond,
+		WriteBase:   4 * sim.Microsecond,
+		BytesPerSec: 4e9, // tmpfs copy bandwidth
+	}
+}
+
+// Capacity reports the disk size in bytes.
+func (d *Disk) Capacity() uint64 { return d.capacity }
+
+func (d *Disk) svc(write bool, n int) sim.Time {
+	base := d.ReadBase
+	if write {
+		base = d.WriteBase
+	}
+	if d.BytesPerSec <= 0 {
+		return base
+	}
+	return base + sim.Time(float64(n)/d.BytesPerSec*float64(sim.Second))
+}
+
+// Submit implements virtio.BlkTransport: schedule the operation and call
+// done at completion (event context). Reads return the data read.
+func (d *Disk) Submit(write bool, sector uint64, data []byte, done func(ok bool, read []byte)) {
+	off := sector * SectorSize
+	if off+uint64(len(data)) > d.capacity {
+		d.Errors++
+		d.Eng.After(d.ReadBase, func() { done(false, nil) })
+		return
+	}
+	start := d.Eng.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	finish := start + d.svc(write, len(data))
+	d.busyUntil = finish
+	if write {
+		d.Writes++
+		payload := append([]byte(nil), data...)
+		d.Eng.At(finish, func() {
+			if err := d.store.Write(off, payload); err != nil {
+				done(false, nil)
+				return
+			}
+			done(true, nil)
+		})
+		return
+	}
+	d.Reads++
+	n := len(data)
+	d.Eng.At(finish, func() {
+		buf := make([]byte, n)
+		if err := d.store.Read(off, buf); err != nil {
+			done(false, nil)
+			return
+		}
+		done(true, buf)
+	})
+}
+
+// WriteSync writes directly into the image (test/setup helper, no
+// latency).
+func (d *Disk) WriteSync(sector uint64, data []byte) error {
+	off := sector * SectorSize
+	if off+uint64(len(data)) > d.capacity {
+		return fmt.Errorf("blk %s: write beyond capacity", d.Name)
+	}
+	return d.store.Write(off, data)
+}
+
+// ReadSync reads directly from the image (test helper).
+func (d *Disk) ReadSync(sector uint64, n int) ([]byte, error) {
+	off := sector * SectorSize
+	buf := make([]byte, n)
+	if err := d.store.Read(off, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

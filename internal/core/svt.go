@@ -1,0 +1,138 @@
+// Package core implements SVt — the paper's primary contribution — as a
+// feature layered on the SMT core: the architectural additions of
+// Table 2 (the SVt_visor / SVt_vm / SVt_nested VMCS fields, the
+// ctxtld/ctxtst cross-context register access instructions, and the
+// per-core µ-registers), their configuration across the virtualization
+// hierarchy, and the invariants the design promises (§3–§4).
+//
+// The micro-architectural mechanics (fetch-target switching, register
+// residency, µ-register caching on VMPTRLD) live in internal/cpu, where
+// SMT already keeps the replicated thread state; this package is the
+// feature's architectural surface: what a hypervisor programs and what
+// the design guarantees.
+package core
+
+import (
+	"fmt"
+
+	"svtsim/internal/cpu"
+	"svtsim/internal/vmcs"
+)
+
+// Table2 describes the architectural and micro-architectural state SVt
+// introduces (the paper's Table 2), for documentation and tooling.
+type Table2Entry struct {
+	Name    string
+	Kind    string // "VMCS field", "Instruction", "µ-register"
+	Purpose string
+}
+
+// Table2 returns the feature inventory.
+func Table2() []Table2Entry {
+	return []Table2Entry{
+		{"SVt_visor", "VMCS field", "Target context for host hypervisor."},
+		{"SVt_vm", "VMCS field", "Target context for guest VM."},
+		{"SVt_nested", "VMCS field", "Target context for nested cross-context register accesses."},
+		{"ctxtld lvl ...", "Instruction", "Read register from another context."},
+		{"ctxtst lvl ...", "Instruction", "Write register to another context."},
+		{"SVt_current", "µ-register", "Target context to fetch instructions from."},
+		{"SVt_visor/vm/nested", "µ-register", "Cached versions of the VMCS fields above."},
+		{"is_vm", "µ-register", "Whether we are executing inside a VM (pre-existing)."},
+	}
+}
+
+// Hierarchy assigns each virtualization level to a hardware context, as
+// the host hypervisor does when it enables SVt for a VM stack (§4: "for
+// simplicity, the hypervisor assigns hardware context n to the nth
+// virtualization level").
+type Hierarchy struct {
+	Visor  cpu.ContextID // L0
+	Guest  cpu.ContextID // L1
+	Nested cpu.ContextID // L2 (NoContext when the guest runs no nested VM)
+}
+
+// DefaultHierarchy is the canonical assignment: context n for level n.
+func DefaultHierarchy() Hierarchy {
+	return Hierarchy{Visor: 0, Guest: 1, Nested: 2}
+}
+
+// Validate checks the assignment against the core's context count and the
+// design's single-active-context rule.
+func (h Hierarchy) Validate(c *cpu.Core) error {
+	check := func(name string, id cpu.ContextID, optional bool) error {
+		if id == cpu.NoContext {
+			if optional {
+				return nil
+			}
+			return fmt.Errorf("core: %s context unset", name)
+		}
+		if int(id) < 0 || int(id) >= c.Contexts() {
+			return fmt.Errorf("core: %s context %d outside the core's %d contexts", name, id, c.Contexts())
+		}
+		return nil
+	}
+	if err := check("visor", h.Visor, false); err != nil {
+		return err
+	}
+	if err := check("guest", h.Guest, false); err != nil {
+		return err
+	}
+	if err := check("nested", h.Nested, true); err != nil {
+		return err
+	}
+	if h.Visor == h.Guest || (h.Nested != cpu.NoContext && (h.Nested == h.Visor || h.Nested == h.Guest)) {
+		return fmt.Errorf("core: virtualization levels must occupy distinct contexts (%d/%d/%d)", h.Visor, h.Guest, h.Nested)
+	}
+	return nil
+}
+
+func field(id cpu.ContextID) uint64 {
+	if id == cpu.NoContext {
+		return vmcs.InvalidContext
+	}
+	return uint64(id)
+}
+
+// ConfigureVisorVMCS programs the SVt fields of the VMCS the host
+// hypervisor uses to run its guest (vmcs01): where the visor runs, where
+// the guest runs, and — once the guest hosts a nested VM — which context
+// the guest's cross-context accesses are virtualized onto (§4 step A).
+func (h Hierarchy) ConfigureVisorVMCS(v *vmcs.VMCS) {
+	v.Write(vmcs.SVtVisor, field(h.Visor))
+	v.Write(vmcs.SVtVM, field(h.Guest))
+	v.Write(vmcs.SVtNested, field(h.Nested))
+}
+
+// ConfigureNestedVMCS programs the SVt fields of the VMCS hardware
+// actually runs the nested VM on (vmcs02): exits from the nested context
+// resume the visor directly, with no software context switch in between.
+func (h Hierarchy) ConfigureNestedVMCS(v *vmcs.VMCS) {
+	v.Write(vmcs.SVtVisor, field(h.Visor))
+	v.Write(vmcs.SVtVM, field(h.Nested))
+	v.Write(vmcs.SVtNested, vmcs.InvalidContext)
+}
+
+// Enable turns the core into SVt mode after validating the assignment:
+// VM transitions become stall/resume events, registers stay resident per
+// context, and external interrupts steer to the visor context (§3.1).
+func (h Hierarchy) Enable(c *cpu.Core) error {
+	if err := h.Validate(c); err != nil {
+		return err
+	}
+	c.EnableSVt(true)
+	return nil
+}
+
+// CheckInvariants verifies the §3/§3.4 design promises on a live core:
+// exactly one context fetches at a time (trivially true in the model, but
+// the fetch target must be a valid context) and the register file's
+// rename maps are consistent, so cross-context accesses are well-defined.
+func CheckInvariants(c *cpu.Core) error {
+	if !c.SVtEnabled() {
+		return fmt.Errorf("core: SVt not enabled")
+	}
+	if int(c.Current()) < 0 || int(c.Current()) >= c.Contexts() {
+		return fmt.Errorf("core: fetch target %d out of range", c.Current())
+	}
+	return c.RegFile().CheckInvariants()
+}

@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"testing"
+
+	"svtsim/internal/sim"
+)
+
+func TestBaselineLegs(t *testing.T) {
+	m := Baseline()
+	// The paper's Table 1 attributes 0.81 µs to the explicit L2↔L0
+	// trap+resume pair; our two legs must sum to that.
+	pair := m.ExitLeg() + m.EntryLeg()
+	if pair < 780 || pair > 840 {
+		t.Fatalf("L2↔L0 pair = %v, want ≈810ns", pair)
+	}
+	// With the level state swap on both directions the L0↔L1 pair must be
+	// ≈1.40 µs.
+	l0l1 := pair + 2*m.LevelStateSwap
+	if l0l1 < 1360 || l0l1 > 1440 {
+		t.Fatalf("L0↔L1 pair = %v, want ≈1400ns", l0l1)
+	}
+}
+
+func TestThunkScalesWithRegs(t *testing.T) {
+	m := Baseline()
+	m.ThunkRegs = 0
+	if m.Thunk() != 0 {
+		t.Fatalf("zero regs should cost nothing, got %v", m.Thunk())
+	}
+	m.ThunkRegs = 15
+	m.ThunkPerReg = 10
+	if m.Thunk() != 150 {
+		t.Fatalf("thunk = %v, want 150", m.Thunk())
+	}
+}
+
+func TestAllCostsNonNegative(t *testing.T) {
+	m := Baseline()
+	check := func(name string, v sim.Time) {
+		if v < 0 {
+			t.Errorf("%s is negative: %v", name, v)
+		}
+	}
+	check("ExitHW", m.ExitHW)
+	check("EntryHW", m.EntryHW)
+	check("VMPtrLd", m.VMPtrLd)
+	check("LevelStateSwap", m.LevelStateSwap)
+	check("VMRead", m.VMRead)
+	check("VMWrite", m.VMWrite)
+	check("DispatchNested", m.DispatchNested)
+	check("DispatchSimple", m.DispatchSimple)
+	check("InjectExit", m.InjectExit)
+	check("ResumePrep", m.ResumePrep)
+	check("LazyL2L0", m.LazyL2L0)
+	check("LazyL0toL1", m.LazyL0toL1)
+	check("LazyL1", m.LazyL1)
+	check("StallResume", m.StallResume)
+	check("CtxtAccess", m.CtxtAccess)
+	check("RingCmd", m.RingCmd)
+	check("MwaitWake", m.MwaitWake)
+	if m.PollOverheadFrac < 0 || m.PollOverheadFrac >= 1 {
+		t.Errorf("PollOverheadFrac out of range: %v", m.PollOverheadFrac)
+	}
+	if m.CrossNUMAFactor <= m.CrossCoreFactor {
+		t.Errorf("NUMA factor (%v) must exceed cross-core factor (%v): §6.1 reports an order of magnitude", m.CrossNUMAFactor, m.CrossCoreFactor)
+	}
+}
+
+func TestSVtCheaperThanSwitch(t *testing.T) {
+	m := Baseline()
+	if m.StallResume >= m.ExitLeg() {
+		t.Fatalf("a stall/resume (%v) must be cheaper than a baseline exit leg (%v)", m.StallResume, m.ExitLeg())
+	}
+	if m.CtxtAccess >= m.ThunkPerReg*4 {
+		t.Fatalf("ctxtld (%v) should be on the order of a register move", m.CtxtAccess)
+	}
+}

@@ -1,0 +1,110 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"svtsim/internal/isa"
+)
+
+func TestRegFileReadWrite(t *testing.T) {
+	rf := NewRegFile(3, 8)
+	rf.Write(0, isa.RAX, 111)
+	rf.Write(1, isa.RAX, 222)
+	rf.Write(2, isa.RAX, 333)
+	if rf.Read(0, isa.RAX) != 111 || rf.Read(1, isa.RAX) != 222 || rf.Read(2, isa.RAX) != 333 {
+		t.Fatal("contexts must have isolated architectural state")
+	}
+	if err := rf.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegFileRenameRecycles(t *testing.T) {
+	rf := NewRegFile(2, 4)
+	for i := 0; i < 100; i++ {
+		rf.Write(0, isa.RBX, uint64(i))
+	}
+	if rf.Read(0, isa.RBX) != 99 {
+		t.Fatal("last write must win")
+	}
+	if err := rf.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegFileNoSpare(t *testing.T) {
+	rf := NewRegFile(1, 0)
+	rf.Write(0, isa.RCX, 7)
+	if rf.Read(0, isa.RCX) != 7 {
+		t.Fatal("write without spare regs must still work")
+	}
+	if err := rf.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegFileSnapshotRoundTrip(t *testing.T) {
+	rf := NewRegFile(2, 8)
+	var want [isa.NumGPR]uint64
+	for r := isa.Reg(0); r < isa.NumGPR; r++ {
+		want[r] = uint64(r) * 10
+		rf.Write(1, r, want[r])
+	}
+	got := rf.ReadAll(1)
+	if got != want {
+		t.Fatalf("snapshot mismatch: %v vs %v", got, want)
+	}
+	rf.WriteAll(0, got)
+	if rf.ReadAll(0) != want {
+		t.Fatal("WriteAll/ReadAll round trip failed")
+	}
+}
+
+func TestRegFilePanicsOnBadInput(t *testing.T) {
+	rf := NewRegFile(1, 0)
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { rf.Read(5, isa.RAX) })
+	mustPanic(func() { rf.Read(0, isa.RIP) })
+	mustPanic(func() { rf.Write(0, isa.RSP, 1) })
+}
+
+// Property: any interleaving of writes across contexts preserves per-
+// context last-write-wins semantics and the rename invariants.
+func TestRegFileSemanticsProperty(t *testing.T) {
+	type w struct {
+		Ctx uint8
+		Reg uint8
+		Val uint64
+	}
+	prop := func(writes []w) bool {
+		const nCtx = 3
+		rf := NewRegFile(nCtx, 6)
+		ref := make([][isa.NumGPR]uint64, nCtx)
+		for _, x := range writes {
+			ctx := int(x.Ctx) % nCtx
+			r := isa.Reg(x.Reg) % isa.NumGPR
+			rf.Write(ctx, r, x.Val)
+			ref[ctx][r] = x.Val
+		}
+		if rf.CheckInvariants() != nil {
+			return false
+		}
+		for ctx := 0; ctx < nCtx; ctx++ {
+			if rf.ReadAll(ctx) != ref[ctx] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

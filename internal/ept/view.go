@@ -1,0 +1,105 @@
+package ept
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"svtsim/internal/mem"
+)
+
+// View is a guest-physical window onto a backing physical memory through
+// a table: the accessor a hypervisor (or a vhost backend) uses to reach a
+// guest's buffers. Accesses that hit device regions or unmapped pages
+// fail with the corresponding EPT error.
+type View struct {
+	Mem   *mem.Memory
+	Table *Table
+}
+
+// NewView wraps backing memory m with table t.
+func NewView(m *mem.Memory, t *Table) *View { return &View{Mem: m, Table: t} }
+
+func (v *View) each(gpa uint64, n int, need Perm, f func(hpa uint64, off, chunk int) error) error {
+	if n < 0 {
+		return fmt.Errorf("ept view: negative length")
+	}
+	done := 0
+	for done < n {
+		a := gpa + uint64(done)
+		hpa, err := v.Table.Translate(a, need)
+		if err != nil {
+			return err
+		}
+		chunk := int(mem.PageSize - a%mem.PageSize)
+		if chunk > n-done {
+			chunk = n - done
+		}
+		if err := f(hpa, done, chunk); err != nil {
+			return err
+		}
+		done += chunk
+	}
+	return nil
+}
+
+// Read copies len(p) bytes from guest-physical gpa into p.
+func (v *View) Read(gpa uint64, p []byte) error {
+	return v.each(gpa, len(p), PermR, func(hpa uint64, off, chunk int) error {
+		return v.Mem.Read(hpa, p[off:off+chunk])
+	})
+}
+
+// Write copies p to guest-physical gpa.
+func (v *View) Write(gpa uint64, p []byte) error {
+	return v.each(gpa, len(p), PermW, func(hpa uint64, off, chunk int) error {
+		return v.Mem.Write(hpa, p[off:off+chunk])
+	})
+}
+
+// ReadU16 reads a little-endian uint16 at gpa.
+func (v *View) ReadU16(gpa uint64) (uint16, error) {
+	var b [2]byte
+	if err := v.Read(gpa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+// ReadU32 reads a little-endian uint32 at gpa.
+func (v *View) ReadU32(gpa uint64) (uint32, error) {
+	var b [4]byte
+	if err := v.Read(gpa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// ReadU64 reads a little-endian uint64 at gpa.
+func (v *View) ReadU64(gpa uint64) (uint64, error) {
+	var b [8]byte
+	if err := v.Read(gpa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU16 writes a little-endian uint16 at gpa.
+func (v *View) WriteU16(gpa uint64, val uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], val)
+	return v.Write(gpa, b[:])
+}
+
+// WriteU32 writes a little-endian uint32 at gpa.
+func (v *View) WriteU32(gpa uint64, val uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], val)
+	return v.Write(gpa, b[:])
+}
+
+// WriteU64 writes a little-endian uint64 at gpa.
+func (v *View) WriteU64(gpa uint64, val uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	return v.Write(gpa, b[:])
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"svtsim/internal/cpu"
+	"svtsim/internal/hv"
+	"svtsim/internal/isa"
+	"svtsim/internal/machine"
+	"svtsim/internal/sim"
+	"svtsim/internal/swsvt"
+)
+
+// ChannelPoint is one cell of the §6.1 communication-channel study: a
+// wait policy and thread placement, measured on the nested cpuid
+// micro-benchmark with a variable surrounding workload.
+type ChannelPoint struct {
+	Policy    swsvt.Policy
+	Placement swsvt.Placement
+	Workload  sim.Time // compute between cpuid instructions
+	PerOp     sim.Time // per-iteration latency
+}
+
+// computeCpuidLoop interleaves compute blocks with cpuid instructions
+// (the paper's "dependent register increments that simulate a variable
+// workload").
+type computeCpuidLoop struct {
+	n, i    int
+	compute sim.Time
+}
+
+func (g *computeCpuidLoop) Step() cpu.Action {
+	if g.i >= 2*g.n {
+		return cpu.Action{Kind: cpu.ActDone}
+	}
+	g.i++
+	if g.i%2 == 1 {
+		if g.compute > 0 {
+			return cpu.Action{Kind: cpu.ActCompute, Dur: g.compute}
+		}
+		g.i++
+	}
+	return cpu.Action{Kind: cpu.ActInstr, Instr: isa.CPUID(1)}
+}
+func (g *computeCpuidLoop) DeliverIRQ(int) {}
+
+// ChannelStudy sweeps the SW SVt channel configurations of §6.1: polling,
+// mwait and mutex waiters at SMT, cross-core and cross-NUMA placements,
+// across workload sizes.
+func ChannelStudy(n int, workloads []sim.Time) []ChannelPoint {
+	var out []ChannelPoint
+	for _, pol := range []swsvt.Policy{swsvt.PolicyPoll, swsvt.PolicyMwait, swsvt.PolicyMutex} {
+		for _, place := range []swsvt.Placement{swsvt.PlaceSMT, swsvt.PlaceCrossCore, swsvt.PlaceCrossNUMA} {
+			for _, wl := range workloads {
+				cfg := machine.DefaultConfig(hv.ModeSWSVt)
+				cfg.WaitPolicy = pol
+				cfg.Placement = place
+				m := machine.NewNested(cfg)
+				m.SetL2Workload(&computeCpuidLoop{n: n, compute: wl})
+				m.Run()
+				m.Shutdown()
+				out = append(out, ChannelPoint{
+					Policy:    pol,
+					Placement: place,
+					Workload:  wl,
+					PerOp:     m.Now() / sim.Time(n),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package exp contains the experiment harnesses that regenerate every
+// table and figure of the paper's evaluation (§6). Each experiment
+// assembles a machine, runs the workload deterministically, and returns
+// structured results; the report package renders them in the paper's
+// format, and both the command-line tools and the benchmark suite reuse
+// them.
+package exp
+
+import (
+	"svtsim/internal/cpu"
+	"svtsim/internal/guest"
+	"svtsim/internal/hv"
+	"svtsim/internal/isa"
+	"svtsim/internal/machine"
+	"svtsim/internal/netsim"
+	"svtsim/internal/sim"
+	"svtsim/internal/stats"
+	"svtsim/internal/workload"
+)
+
+// Modes under test, in the paper's presentation order.
+var Modes = []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt}
+
+// cpuidLoop is the §6.1 micro-benchmark program (used at every
+// virtualization level).
+type cpuidLoop struct {
+	n, i int
+}
+
+func (g *cpuidLoop) Step() cpu.Action {
+	if g.i >= g.n {
+		return cpu.Action{Kind: cpu.ActDone}
+	}
+	g.i++
+	return cpu.Action{Kind: cpu.ActInstr, Instr: isa.CPUID(1)}
+}
+func (g *cpuidLoop) DeliverIRQ(int) {}
+
+// CPUIDResult is one Figure 6 bar.
+type CPUIDResult struct {
+	Label     string
+	PerOp     sim.Time
+	Breakdown *sim.Ledger // Table 1 stages (nested runs only)
+}
+
+// CPUIDNative measures the Figure 6 "L0" bar.
+func CPUIDNative(n int) CPUIDResult {
+	costs := machine.DefaultConfig(hv.ModeBaseline).Costs
+	total := machine.RunNative(&costs, &cpuidLoop{n: n})
+	return CPUIDResult{Label: "L0", PerOp: total / sim.Time(n)}
+}
+
+// CPUIDSingleLevel measures the Figure 6 "L1" bar.
+func CPUIDSingleLevel(n int) CPUIDResult {
+	m := machine.NewSingleLevel(machine.DefaultConfig(hv.ModeBaseline))
+	m.SetGuestWorkload(&cpuidLoop{n: n})
+	m.RunSingle()
+	return CPUIDResult{Label: "L1", PerOp: m.Now() / sim.Time(n)}
+}
+
+// CPUIDNested measures a nested cpuid run (Figure 6 "L2", "SW SVt" and
+// "HW SVt" bars, and the Table 1 breakdown for the baseline).
+func CPUIDNested(mode hv.Mode, n int) CPUIDResult {
+	m := machine.NewNested(machine.DefaultConfig(mode))
+	led := &sim.Ledger{}
+	m.Eng.SetLedger(led)
+	m.SetL2Workload(&cpuidLoop{n: n})
+	m.Run()
+	m.Shutdown()
+	label := "L2"
+	switch mode {
+	case hv.ModeSWSVt:
+		label = "SW SVt"
+	case hv.ModeHWSVt:
+		label = "HW SVt"
+	}
+	return CPUIDResult{Label: label, PerOp: m.Now() / sim.Time(n), Breakdown: led}
+}
+
+// CPUIDNestedNoShadowing runs the baseline nested cpuid with hardware
+// VMCS shadowing disabled (the §2.1 ablation).
+func CPUIDNestedNoShadowing(n int) CPUIDResult {
+	cfg := machine.DefaultConfig(hv.ModeBaseline)
+	cfg.DisableVMCSShadowing = true
+	m := machine.NewNested(cfg)
+	m.SetL2Workload(&cpuidLoop{n: n})
+	m.Run()
+	m.Shutdown()
+	return CPUIDResult{Label: "L2 (no shadowing)", PerOp: m.Now() / sim.Time(n)}
+}
+
+// CPUIDNestedWithThunkRegs runs nested cpuid with a chosen number of
+// software-thunk registers (the "dozens of registers" sensitivity).
+func CPUIDNestedWithThunkRegs(mode hv.Mode, regs, n int) CPUIDResult {
+	cfg := machine.DefaultConfig(mode)
+	cfg.Costs.ThunkRegs = regs
+	m := machine.NewNested(cfg)
+	m.SetL2Workload(&cpuidLoop{n: n})
+	m.Run()
+	m.Shutdown()
+	return CPUIDResult{Label: "thunk-sweep", PerOp: m.Now() / sim.Time(n)}
+}
+
+// TraceNestedCPUID runs a nested cpuid workload with an exit trace
+// attached to L0 and returns the retained entries (newest-window).
+func TraceNestedCPUID(mode hv.Mode, n, ring int) []hv.TraceEntry {
+	m := machine.NewNested(machine.DefaultConfig(mode))
+	tr := hv.NewTrace(ring)
+	m.L0.SetTrace(tr)
+	m.SetL2Workload(&cpuidLoop{n: n})
+	m.Run()
+	m.Shutdown()
+	return tr.Entries()
+}
+
+// IOResult is one Figure 7 measurement.
+type IOResult struct {
+	Mode      hv.Mode
+	MeanUs    float64
+	P99Us     float64
+	Mbps      float64
+	KBs       float64
+	ExitStats *hv.Profile // L0's nested-exit profile
+}
+
+// netMachine builds a nested machine with the network stack and a peer
+// factory hook.
+func netMachine(mode hv.Mode) (*machine.Machine, *machine.IOStack) {
+	cfg := machine.DefaultConfig(mode)
+	io := machine.WireNestedIO(&cfg, machine.DefaultIOParams())
+	m := machine.NewNested(cfg)
+	return m, io
+}
+
+// NetLatency runs netperf TCP_RR (Figure 7 "Network latency"): n 1-byte
+// transactions against an echoing peer.
+func NetLatency(mode hv.Mode, n int) IOResult {
+	m, io := netMachine(mode)
+	io.NIC.Peer = &netsim.EchoPeer{
+		Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
+		ServiceTime: 5 * sim.Microsecond, RespSize: 1,
+	}
+	w := &workload.NetRR{N: n, ReqSize: 1, TCPModel: true, SMP: true}
+	m.InstallL2(io, true, false, func(env *guest.Env) { w.Run(env) })
+	m.Run()
+	m.Shutdown()
+	s, _ := stats.Summarize(w.Lat)
+	return IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
+}
+
+// NetBandwidth runs netperf TCP_STREAM (Figure 7 "Network bandwidth"):
+// 16 KB messages for the given duration; throughput measured at the peer.
+func NetBandwidth(mode hv.Mode, d sim.Time) IOResult {
+	m, io := netMachine(mode)
+	peer := &netsim.AckPeer{
+		Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
+		AckEvery: workload.StreamAckEvery, AckSize: 64,
+	}
+	io.NIC.Peer = peer
+	io.L0Net.TxCoalesce = 16
+	io.SetL1NetTxCoalesce(16)
+	w := &workload.NetStream{Duration: d, MsgSize: 16 * 1024, Window: 2 << 20, SMP: false}
+	m.InstallL2(io, true, false, func(env *guest.Env) { w.Run(env) })
+	m.Run()
+	m.Shutdown()
+	mbps := float64(peer.Received) * 8 / d.Seconds() / 1e6
+	return IOResult{Mode: mode, Mbps: mbps, ExitStats: &m.L0.NestedProf}
+}
+
+// DiskLatency runs ioping (Figure 7 "Disk randrd/randwr latency"):
+// n synchronous 512-byte random accesses.
+func DiskLatency(mode hv.Mode, write bool, n int) IOResult {
+	m, io := netMachine(mode)
+	w := &workload.DiskBench{
+		N: n, Size: 512, Write: write, Sectors: 1 << 20,
+		Rng: sim.NewRand(42), SMP: true,
+	}
+	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
+	m.Run()
+	m.Shutdown()
+	s, _ := stats.Summarize(w.Lat)
+	return IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
+}
+
+// DiskBandwidth runs fio (Figure 7 "Disk randrd/randwr bandwidth"):
+// n synchronous 4 KB random accesses, reporting KB/s.
+func DiskBandwidth(mode hv.Mode, write bool, n int) IOResult {
+	m, io := netMachine(mode)
+	w := &workload.DiskBench{
+		N: n, Size: 4096, Write: write, Sectors: 1 << 20,
+		Rng: sim.NewRand(43), SMP: true,
+	}
+	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
+	m.Run()
+	m.Shutdown()
+	return IOResult{Mode: mode, KBs: w.ThroughputKBs(), ExitStats: &m.L0.NestedProf}
+}
+
+// MemcachedResult is one point of Figure 8's load sweep.
+type MemcachedResult struct {
+	Mode      hv.Mode
+	TargetQPS float64
+	AvgUs     float64
+	P99Us     float64
+	Served    uint64
+}
+
+// Memcached runs the §6.3.1 experiment: an open-loop ETC load at rate
+// QPS against the in-guest memcached server for duration d.
+func Memcached(mode hv.Mode, rate float64, d sim.Time) MemcachedResult {
+	m, io := netMachine(mode)
+	srv := workload.DefaultMemcached(d + 100*sim.Millisecond)
+	m.InstallL2(io, true, false, func(env *guest.Env) { srv.Run(env) })
+
+	rng := sim.NewRand(7)
+	etc := workload.NewETC(sim.SplitRand(rng))
+	keyRng := sim.SplitRand(rng)
+	client := &netsim.OpenLoopClient{
+		Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
+		Payload: func() []byte {
+			return workload.EncodeMemcachedReq(uint64(keyRng.Intn(100000)), etc.IsGet(), etc.ValueSize())
+		},
+	}
+	io.NIC.Peer = client
+	client.Start(rate, m.Eng.Now()+d, rng.Float64)
+	m.Run()
+	m.Shutdown()
+	res := MemcachedResult{Mode: mode, TargetQPS: rate, Served: srv.Served}
+	if len(client.Lat) > 0 {
+		res.AvgUs = stats.Mean(client.Lat)
+		res.P99Us = stats.Percentile(client.Lat, 99)
+	}
+	return res
+}
+
+// TPCC runs the §6.3.2 experiment for duration d, returning ktpm.
+func TPCC(mode hv.Mode, d sim.Time) float64 {
+	m, io := netMachine(mode)
+	w := &workload.TPCC{Duration: d, Rng: sim.NewRand(17), SMP: true}
+	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
+	m.Run()
+	m.Shutdown()
+	return w.KTpm()
+}
+
+// VideoResult is one Figure 10 bar.
+type VideoResult struct {
+	Mode    hv.Mode
+	FPS     int
+	Dropped int
+	Played  int
+}
+
+// Video runs the §6.3.3 experiment at the given frame rate over the full
+// five minutes of playback.
+func Video(mode hv.Mode, fps int) VideoResult { return VideoN(mode, fps, fps*300) }
+
+// VideoN runs the video experiment over a chosen number of frames.
+func VideoN(mode hv.Mode, fps, frames int) VideoResult {
+	m, io := netMachine(mode)
+	w := workload.NewVideo(fps, sim.NewRand(23))
+	w.Frames = frames
+	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
+	m.Run()
+	m.Shutdown()
+	return VideoResult{Mode: mode, FPS: fps, Dropped: w.Dropped, Played: w.Played}
+}

@@ -1,0 +1,268 @@
+package hv
+
+import (
+	"strings"
+	"testing"
+
+	"svtsim/internal/apic"
+	"svtsim/internal/cost"
+	"svtsim/internal/cpu"
+	"svtsim/internal/isa"
+	"svtsim/internal/mem"
+	"svtsim/internal/sim"
+	"svtsim/internal/vmcs"
+)
+
+func testStack() (*Hypervisor, *cpu.Core, *sim.Engine) {
+	eng := sim.New()
+	m := cost.Baseline()
+	c := cpu.New(eng, &m, 1, mem.New(1<<30))
+	c.SetLAPIC(0, apic.New(0, eng))
+	h := New("L0", NewRealPlatform(c), &m, 0, ModeBaseline)
+	return h, c, eng
+}
+
+func guestVMCS() *vmcs.VMCS {
+	v := vmcs.New("vmcs01")
+	v.VMLevel = 1
+	v.Write(vmcs.PinControls, vmcs.PinCtlExtIntExit)
+	v.Write(vmcs.ProcControls, vmcs.ProcCtlHLTExit|vmcs.ProcCtlUseMSRBitmap)
+	return v
+}
+
+// scriptGuest runs a fixed action list.
+type scriptGuest struct {
+	acts []cpu.Action
+	i    int
+	irqs []int
+}
+
+func (g *scriptGuest) Step() cpu.Action {
+	if g.i >= len(g.acts) {
+		return cpu.Action{Kind: cpu.ActDone}
+	}
+	a := g.acts[g.i]
+	g.i++
+	return a
+}
+func (g *scriptGuest) DeliverIRQ(vec int) { g.irqs = append(g.irqs, vec) }
+
+func TestModeStrings(t *testing.T) {
+	if ModeBaseline.String() != "baseline" || ModeSWSVt.String() != "sw-svt" || ModeHWSVt.String() != "hw-svt" {
+		t.Fatal("mode names")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must render")
+	}
+}
+
+func TestCPUIDEmulationResultInRAX(t *testing.T) {
+	h, _, _ := testStack()
+	g := &scriptGuest{acts: []cpu.Action{{Kind: cpu.ActInstr, Instr: isa.CPUID(5)}}}
+	vc := NewVCPU("g", 0, guestVMCS(), g, 1)
+	vc.VMCS.GPRs[isa.RAX] = 5 // the leaf the guest requested
+	h.RunLoop(vc)
+	if !h.Stopped {
+		t.Fatal("loop must stop on guest done")
+	}
+	if vc.VMCS.GPRs[isa.RAX] == 5 {
+		t.Fatal("cpuid emulation must replace RAX")
+	}
+	if h.Prof.Count[isa.ExitCPUID] != 1 {
+		t.Fatal("profile must count the exit")
+	}
+	if got := vc.VMCS.Read(vmcs.GuestRIP); got == 0 {
+		t.Fatal("RIP must advance past the emulated instruction")
+	}
+}
+
+func TestMSRStoreRoundTrip(t *testing.T) {
+	h, _, _ := testStack()
+	var readBack uint64
+	g := &scriptGuest{acts: []cpu.Action{
+		{Kind: cpu.ActInstr, Instr: isa.WRMSR(isa.MSRSpecCtrl, 0x42)},
+		{Kind: cpu.ActInstr, Instr: isa.RDMSR(isa.MSRSpecCtrl)},
+	}}
+	vc := NewVCPU("g", 0, guestVMCS(), g, 1)
+	// Without a configured bitmap entry both accesses exit... the VMCS has
+	// UseMSRBitmap, so mark this MSR as exiting.
+	vc.VMCS.SetMSRExit(isa.MSRSpecCtrl, true)
+	h.RunLoop(vc)
+	readBack = vc.VMCS.GPRs[isa.RAX]
+	if readBack != 0x42 {
+		t.Fatalf("MSR read-back = %#x, want 0x42", readBack)
+	}
+	if h.Prof.Count[isa.ExitMSRWrite] != 1 || h.Prof.Count[isa.ExitMSRRead] != 1 {
+		t.Fatal("MSR exits not counted")
+	}
+}
+
+func TestTimerVirtualization(t *testing.T) {
+	h, c, eng := testStack()
+	fired := []int{}
+	g := &scriptGuest{acts: []cpu.Action{
+		{Kind: cpu.ActInstr, Instr: isa.WRMSR(isa.MSRTSCDeadline, 5000)},
+		{Kind: cpu.ActCompute, Dur: 20_000},
+	}}
+	vc := NewVCPU("g", 0, guestVMCS(), g, 1)
+	vc.VMCS.SetMSRExit(isa.MSRTSCDeadline, true)
+	vc.VirtLAPIC = apic.New(1, eng)
+	h.RunLoop(vc)
+	fired = g.irqs
+	if len(fired) != 1 || fired[0] != apic.VecTimer {
+		t.Fatalf("guest timer irqs = %v", fired)
+	}
+	if eng.Now() < 20_000 {
+		t.Fatal("compute must have completed")
+	}
+	_ = c
+}
+
+func TestHLTWakesOnInterrupt(t *testing.T) {
+	h, _, eng := testStack()
+	g := &scriptGuest{acts: []cpu.Action{
+		{Kind: cpu.ActInstr, Instr: isa.WRMSR(isa.MSRTSCDeadline, 3000)},
+		{Kind: cpu.ActHalt},
+		{Kind: cpu.ActCompute, Dur: 10},
+	}}
+	vc := NewVCPU("g", 0, guestVMCS(), g, 1)
+	vc.VMCS.SetMSRExit(isa.MSRTSCDeadline, true)
+	vc.VirtLAPIC = apic.New(1, eng)
+	h.RunLoop(vc)
+	if h.DeadlockDetected {
+		t.Fatal("halt must wake on the timer")
+	}
+	if eng.Now() < 3000 {
+		t.Fatalf("woke too early: %v", eng.Now())
+	}
+	if len(g.irqs) == 0 {
+		t.Fatal("the timer vector must be injected after wake")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	h, _, _ := testStack()
+	g := &scriptGuest{acts: []cpu.Action{{Kind: cpu.ActHalt}}}
+	vc := NewVCPU("g", 0, guestVMCS(), g, 1)
+	h.RunLoop(vc)
+	if !h.DeadlockDetected {
+		t.Fatal("halting with no pending events must be detected")
+	}
+}
+
+func TestDeviceDispatchAndUnknownDevicePanics(t *testing.T) {
+	h, _, _ := testStack()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown device must panic")
+		}
+	}()
+	vc := NewVCPU("g", 0, guestVMCS(), nil, 1)
+	h.Handle(vc, &isa.Exit{Reason: isa.ExitEPTMisconfig, Qualification: 99, GuestPA: 0xF000})
+}
+
+type fakeDev struct {
+	name   string
+	writes []uint64
+	irqs   int
+}
+
+func (d *fakeDev) Name() string              { return d.name }
+func (d *fakeDev) MMIOWrite(gpa, val uint64) { d.writes = append(d.writes, val) }
+func (d *fakeDev) OnIRQ()                    { d.irqs++ }
+
+func TestKernelIRQDispatch(t *testing.T) {
+	h, _, eng := testStack()
+	dev := &fakeDev{name: "d"}
+	h.VectorToDevice[0x40] = dev
+	target := NewVCPU("t", 0, guestVMCS(), nil, 1)
+	target.VirtLAPIC = apic.New(2, eng)
+	h.VectorRoute[0x41] = target
+
+	h.HandleKernelIRQ(0x40)
+	if dev.irqs != 1 {
+		t.Fatal("device completion must run")
+	}
+	h.HandleKernelIRQ(0x41)
+	if !target.VirtLAPIC.HasPending() {
+		t.Fatal("vector must route to the target vCPU")
+	}
+}
+
+func TestProfileShare(t *testing.T) {
+	var p Profile
+	if p.Share(isa.ExitCPUID) != 0 {
+		t.Fatal("empty profile share must be 0")
+	}
+	p.Time[isa.ExitCPUID] = 30
+	p.Time[isa.ExitHLT] = 70
+	p.Total = 100
+	if p.Share(isa.ExitCPUID) != 0.3 {
+		t.Fatal("share arithmetic wrong")
+	}
+}
+
+func TestMaybeInjectOnlyOnce(t *testing.T) {
+	h, _, eng := testStack()
+	vc := NewVCPU("g", 0, guestVMCS(), nil, 1)
+	vc.VirtLAPIC = apic.New(1, eng)
+	vc.VirtLAPIC.Deliver(0x31)
+	vc.VirtLAPIC.Deliver(0x32)
+	h.PrepareResume(vc)
+	info := vc.VMCS.Read(vmcs.EntryIntrInfo)
+	if info&cpu.InjectValid == 0 {
+		t.Fatal("injection must latch")
+	}
+	// A second prepare with the field still latched must not overwrite.
+	h.PrepareResume(vc)
+	if vc.VMCS.Read(vmcs.EntryIntrInfo) != info {
+		t.Fatal("latched injection overwritten")
+	}
+	if !vc.VirtLAPIC.HasPending() {
+		t.Fatal("the second vector must stay pending")
+	}
+}
+
+func TestTraceRecordsExits(t *testing.T) {
+	h, _, _ := testStack()
+	tr := NewTrace(4)
+	h.SetTrace(tr)
+	g := &scriptGuest{acts: []cpu.Action{
+		{Kind: cpu.ActInstr, Instr: isa.CPUID(1)},
+		{Kind: cpu.ActInstr, Instr: isa.CPUID(2)},
+	}}
+	vc := NewVCPU("g", 0, guestVMCS(), g, 1)
+	h.RunLoop(vc)
+	if tr.Total() < 3 { // 2 cpuids + the done vmcall
+		t.Fatalf("trace recorded %d exits", tr.Total())
+	}
+	entries := tr.Entries()
+	if len(entries) == 0 || entries[0].Reason == isa.ExitNone {
+		t.Fatal("entries malformed")
+	}
+	if tr.Summary() == "" {
+		t.Fatal("summary empty")
+	}
+	if h.GetTrace() != tr {
+		t.Fatal("accessor")
+	}
+}
+
+func TestTraceRingRotation(t *testing.T) {
+	tr := NewTrace(2)
+	for i := 0; i < 5; i++ {
+		tr.add(TraceEntry{Qual: uint64(i), Reason: isa.ExitCPUID})
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	es := tr.Entries()
+	if len(es) != 2 || es[0].Qual != 3 || es[1].Qual != 4 {
+		t.Fatalf("retained = %+v", es)
+	}
+	var b strings.Builder
+	tr.Dump(&b)
+	if !strings.Contains(b.String(), "5 recorded") {
+		t.Fatal("dump header")
+	}
+}

@@ -1,0 +1,216 @@
+// Package hv implements the hypervisor: a KVM-like trap-and-emulate
+// kernel module with full nested-virtualization support (VMCS shadowing,
+// vmcs12↔vmcs02 transforms, exit reflection — Algorithm 1 of the paper),
+// plus the SVt and SW-SVt acceleration paths.
+//
+// The same Hypervisor code runs at every virtualization level; only the
+// Platform underneath differs. L0 runs on the RealPlatform (the simulated
+// core's actual VMX primitives); L1 runs on a VirtualPlatform whose
+// privileged operations execute trapping instructions through the guest
+// port — so the extra exits nested virtualization induces (§2.2, lines
+// 8–10 of Algorithm 1) are *emergent*, not scripted.
+package hv
+
+import (
+	"svtsim/internal/cpu"
+	"svtsim/internal/isa"
+	"svtsim/internal/sim"
+	"svtsim/internal/vmcs"
+)
+
+// Platform is what a hypervisor needs from the layer below: VMX-root
+// operations plus guest register access. Costs are charged inside the
+// implementations.
+type Platform interface {
+	Name() string
+	Now() sim.Time
+	// Charge accounts hypervisor compute time.
+	Charge(d sim.Time)
+
+	// Run enters the guest of vc until a VM exit and returns it
+	// (VMLAUNCH/VMRESUME + exit retrieval).
+	Run(vc *VCPU) *isa.Exit
+
+	// VMRead/VMWrite access a field of a VMCS this hypervisor manages.
+	VMRead(v *vmcs.VMCS, f vmcs.Field) uint64
+	VMWrite(v *vmcs.VMCS, f vmcs.Field, val uint64)
+
+	// ReadGuestGPR/WriteGuestGPR access the register context of vc's
+	// guest while it is stopped. Under SVt these become ctxtld/ctxtst;
+	// in the baseline they touch the software save area.
+	ReadGuestGPR(vc *VCPU, r isa.Reg) uint64
+	WriteGuestGPR(vc *VCPU, r isa.Reg, val uint64)
+
+	// SetTimer arms the one-shot platform timer that backs a guest's
+	// virtualized TSC deadline; at deadline the platform delivers
+	// apic.VecTimer to the hypervisor owning vc.
+	SetTimer(vc *VCPU, deadline sim.Time)
+
+	// INVEPT invalidates cached translations for an EPT root.
+	INVEPT(eptp uint64)
+
+	// AckIRQ acknowledges a physical interrupt (no-op on the virtualized
+	// platform, whose "physical" interrupts are virtual vectors consumed by
+	// the kernel IRQ poll).
+	AckIRQ(vc *VCPU, vec int)
+
+	// PollIRQs gives the guest kernel a chance to run pending virtual
+	// interrupt handlers (no-op on the real platform).
+	PollIRQs()
+
+	// Idle blocks until an interrupt is pending for this hypervisor or
+	// one of vc's vectors (used for HLT handling). It reports false if
+	// the simulation has no more events (deadlock).
+	Idle(vc *VCPU) bool
+}
+
+// RealPlatform is VMX root mode on the simulated core: what L0 runs on.
+type RealPlatform struct {
+	Core *cpu.Core
+	// HostLAPIC is the physical LAPIC of the context L0 code runs on
+	// (context 0; under SVt all external interrupts are redirected here).
+	HostLAPIC func() hasPending
+	timers    map[cpu.ContextID]*sim.Event
+	// TimerOwner records, per context, which vCPU armed the platform
+	// timer so the firing can be routed (KVM's hrtimer bookkeeping).
+	TimerOwner map[cpu.ContextID]*VCPU
+}
+
+type hasPending interface{ HasPending() bool }
+
+// NewRealPlatform wraps a core.
+func NewRealPlatform(c *cpu.Core) *RealPlatform {
+	return &RealPlatform{
+		Core:       c,
+		timers:     make(map[cpu.ContextID]*sim.Event),
+		TimerOwner: make(map[cpu.ContextID]*VCPU),
+	}
+}
+
+// Name implements Platform.
+func (p *RealPlatform) Name() string { return "hw" }
+
+// Now implements Platform.
+func (p *RealPlatform) Now() sim.Time { return p.Core.Eng.Now() }
+
+// Charge implements Platform.
+func (p *RealPlatform) Charge(d sim.Time) { p.Core.Eng.Advance(d) }
+
+// Run implements Platform: load the vCPU's VMCS if it is not current and
+// enter the guest.
+func (p *RealPlatform) Run(vc *VCPU) *isa.Exit {
+	if p.Core.SVtEnabled() {
+		// The SVt µ-registers are per-core and must describe the VM being
+		// entered, so the current-VMCS check is per-core too.
+		if p.Core.LastLoaded() != vc.VMCS {
+			p.Core.VMPtrLoad(vc.Ctx, vc.VMCS)
+		}
+	} else if p.Core.LoadedVMCS(vc.Ctx) != vc.VMCS {
+		p.Core.VMPtrLoad(vc.Ctx, vc.VMCS)
+	}
+	return p.Core.RunGuest(vc.Ctx, vc.VMCS, vc.Guest, vc.RunState)
+}
+
+// VMRead implements Platform (direct field access plus its cost).
+func (p *RealPlatform) VMRead(v *vmcs.VMCS, f vmcs.Field) uint64 {
+	p.Core.Eng.Advance(p.Core.Costs.VMRead)
+	return v.Read(f)
+}
+
+// VMWrite implements Platform.
+func (p *RealPlatform) VMWrite(v *vmcs.VMCS, f vmcs.Field, val uint64) {
+	p.Core.Eng.Advance(p.Core.Costs.VMWrite)
+	v.Write(f, val)
+}
+
+// ReadGuestGPR implements Platform. Under SVt the access is a ctxtld of
+// the subordinate context; in the baseline it reads the save area the
+// exit thunk filled.
+func (p *RealPlatform) ReadGuestGPR(vc *VCPU, r isa.Reg) uint64 {
+	if p.Core.SVtEnabled() {
+		val, exit := p.Core.CtxtAccess(vc.Lvl, r, false, 0)
+		if exit == nil {
+			return val
+		}
+	}
+	p.Core.Eng.Advance(p.Core.Costs.InstrBase)
+	return vc.VMCS.GPRs[r]
+}
+
+// WriteGuestGPR implements Platform.
+func (p *RealPlatform) WriteGuestGPR(vc *VCPU, r isa.Reg, val uint64) {
+	if p.Core.SVtEnabled() {
+		if _, exit := p.Core.CtxtAccess(vc.Lvl, r, true, val); exit == nil {
+			return
+		}
+	}
+	p.Core.Eng.Advance(p.Core.Costs.InstrBase)
+	vc.VMCS.GPRs[r] = val
+}
+
+// SetTimer implements Platform using an engine event that raises the
+// timer vector on the context's physical LAPIC.
+func (p *RealPlatform) SetTimer(vc *VCPU, deadline sim.Time) {
+	ctx := vc.Ctx
+	if ev := p.timers[ctx]; ev != nil {
+		p.Core.Eng.Cancel(ev)
+		delete(p.timers, ctx)
+	}
+	if deadline == 0 {
+		delete(p.TimerOwner, ctx)
+		return
+	}
+	p.TimerOwner[ctx] = vc
+	p.timers[ctx] = p.Core.Eng.At(deadline, func() {
+		delete(p.timers, ctx)
+		// Timer interrupts are steered to the boot context, where the host
+		// hypervisor takes external interrupts (§3.1).
+		if l := p.Core.LAPIC(0); l != nil {
+			l.Deliver(vecTimer)
+		}
+	})
+}
+
+// irqCtx returns the context external interrupts are steered to: under
+// SVt everything goes to the visor context (context 0), per §3.1.
+func irqCtx(c *cpu.Core, ctx cpu.ContextID) cpu.ContextID {
+	if c.SVtEnabled() {
+		return 0
+	}
+	return ctx
+}
+
+// AckIRQ implements Platform: acknowledge on the physical LAPIC of the
+// context that received the vector.
+func (p *RealPlatform) AckIRQ(vc *VCPU, vec int) {
+	if l := p.Core.LAPIC(irqCtx(p.Core, vc.Ctx)); l != nil {
+		l.Ack(vec)
+	}
+}
+
+// PollIRQs implements Platform (no-op: L0 is the kernel).
+func (p *RealPlatform) PollIRQs() {}
+
+// INVEPT implements Platform.
+func (p *RealPlatform) INVEPT(eptp uint64) {
+	if t := p.Core.EPTTable(eptp); t != nil {
+		t.Invalidate()
+	}
+	p.Core.Eng.Advance(p.Core.Costs.InstrBase)
+}
+
+// Idle implements Platform: advance virtual time until an interrupt shows
+// up on the hosting context's physical LAPIC or on vc's virtual LAPIC.
+func (p *RealPlatform) Idle(vc *VCPU) bool {
+	for {
+		if p.Core.AnyPendingIRQ() {
+			return true
+		}
+		if vc.VirtLAPIC != nil && vc.VirtLAPIC.HasPending() {
+			return true
+		}
+		if !p.Core.Eng.Step() {
+			return false
+		}
+	}
+}

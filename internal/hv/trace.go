@@ -1,0 +1,110 @@
+package hv
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"svtsim/internal/isa"
+	"svtsim/internal/sim"
+)
+
+// TraceEntry records one handled VM exit for post-mortem inspection.
+type TraceEntry struct {
+	At       sim.Time
+	VCPU     string
+	Reason   isa.ExitReason
+	Qual     uint64
+	Nested   bool // recorded from the nested (L2) flow
+	Duration sim.Time
+}
+
+func (e TraceEntry) String() string {
+	lvl := "direct"
+	if e.Nested {
+		lvl = "nested"
+	}
+	return fmt.Sprintf("%-10s %-8s %-6s %-20s qual=%#x took=%s",
+		e.At, e.VCPU, lvl, e.Reason, e.Qual, e.Duration)
+}
+
+// Trace is a bounded ring of recent exits. Attach one to a hypervisor
+// with SetTrace; tracing is off (and free) by default.
+type Trace struct {
+	buf   []TraceEntry
+	next  int
+	total uint64
+}
+
+// NewTrace returns a trace ring holding the most recent n entries.
+func NewTrace(n int) *Trace {
+	if n < 1 {
+		n = 1
+	}
+	return &Trace{buf: make([]TraceEntry, 0, n)}
+}
+
+func (t *Trace) add(e TraceEntry) {
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % cap(t.buf)
+}
+
+// Total reports how many exits were recorded over the run (including ones
+// that have since rotated out of the ring).
+func (t *Trace) Total() uint64 { return t.total }
+
+// Entries returns the retained exits, oldest first.
+func (t *Trace) Entries() []TraceEntry {
+	out := make([]TraceEntry, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Dump writes the retained entries to w.
+func (t *Trace) Dump(w io.Writer) {
+	fmt.Fprintf(w, "exit trace: %d recorded, %d retained\n", t.total, len(t.buf))
+	for _, e := range t.Entries() {
+		fmt.Fprintln(w, " ", e.String())
+	}
+}
+
+// Summary renders per-reason counts of the retained window.
+func (t *Trace) Summary() string {
+	var counts [isa.NumExitReasons]int
+	for _, e := range t.Entries() {
+		counts[e.Reason]++
+	}
+	var b strings.Builder
+	for r, c := range counts {
+		if c > 0 {
+			fmt.Fprintf(&b, "%s=%d ", isa.ExitReason(r), c)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// SetTrace attaches (or detaches, with nil) an exit trace.
+func (h *Hypervisor) SetTrace(t *Trace) { h.trace = t }
+
+// GetTrace returns the attached trace, if any.
+func (h *Hypervisor) GetTrace() *Trace { return h.trace }
+
+func (h *Hypervisor) traceExit(vc *VCPU, e *isa.Exit, nested bool, start sim.Time) {
+	if h.trace == nil {
+		return
+	}
+	h.trace.add(TraceEntry{
+		At:       start,
+		VCPU:     vc.Name,
+		Reason:   e.Reason,
+		Qual:     e.Qualification,
+		Nested:   nested,
+		Duration: h.P.Now() - start,
+	})
+}

@@ -1,0 +1,78 @@
+// Package isa defines the architecturally visible vocabulary of the
+// simulated machine: register identifiers, the trap-relevant instruction
+// subset, VM-exit reasons, and the exit information record exchanged
+// between the core and the hypervisors.
+//
+// The model is deliberately Intel-flavoured (VMCS, EPT, TSC-deadline,
+// VMPTRLD/VMREAD/VMWRITE/VMRESUME) because the paper's prototype targets
+// Linux/KVM on VT-x, but nothing outside this package depends on x86
+// encodings.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. General-purpose registers come
+// first so they can index the per-context rename maps directly.
+type Reg uint8
+
+// General-purpose registers (the 15 that KVM's assembly thunk saves and
+// restores around VM entry/exit; RSP lives in the VMCS).
+const (
+	RAX Reg = iota
+	RBX
+	RCX
+	RDX
+	RSI
+	RDI
+	RBP
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumGPR // count of general-purpose registers
+
+	// Non-GPR architectural state, context-switched in software.
+	RSP
+	RIP
+	RFLAGS
+	CR0
+	CR2
+	CR3
+	CR4
+	NumReg // total register identifiers
+)
+
+var regNames = [...]string{
+	"rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+	"NumGPR",
+	"rsp", "rip", "rflags", "cr0", "cr2", "cr3", "cr4",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// IsGPR reports whether r is one of the general-purpose registers.
+func (r Reg) IsGPR() bool { return r < NumGPR }
+
+// Model-specific register addresses (MSR space), the subset the simulated
+// guests and hypervisors touch.
+const (
+	MSRTSCDeadline  uint32 = 0x6E0 // IA32_TSC_DEADLINE: one-shot timer
+	MSREFER         uint32 = 0xC0000080
+	MSRAPICBase     uint32 = 0x1B
+	MSRX2APICEOI    uint32 = 0x80B
+	MSRX2APICICR    uint32 = 0x830
+	MSRSpecCtrl     uint32 = 0x48
+	MSRFSBase       uint32 = 0xC0000100
+	MSRGSBase       uint32 = 0xC0000101
+	MSRKernelGSBase uint32 = 0xC0000102
+)

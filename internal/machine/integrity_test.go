@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"svtsim/internal/guest"
+	"svtsim/internal/hv"
+	"svtsim/internal/isa"
+	"svtsim/internal/netsim"
+	"svtsim/internal/sim"
+)
+
+// These tests verify *data integrity* through the entire nested I/O path:
+// the bytes a nested guest writes travel through its virtqueues in
+// composed-EPT-translated memory, the guest hypervisor's vhost backend,
+// the guest hypervisor's own virtio device, the host backend, and the
+// physical device model — and come back intact.
+
+func TestNestedDiskDataIntegrity(t *testing.T) {
+	for _, mode := range []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig(mode)
+			io := WireNestedIO(&cfg, DefaultIOParams())
+			m := NewNested(cfg)
+			pattern := make([]byte, 4096)
+			for i := range pattern {
+				pattern[i] = byte(i*7 + 3)
+			}
+			var readBack []byte
+			m.InstallL2(io, false, true, func(env *guest.Env) {
+				if !env.Blk.Write(128, pattern) {
+					t.Error("nested write failed")
+					return
+				}
+				data, ok := env.Blk.Read(128, len(pattern))
+				if !ok {
+					t.Error("nested read failed")
+					return
+				}
+				readBack = data
+			})
+			m.Run()
+			m.Shutdown()
+			if !bytes.Equal(readBack, pattern) {
+				t.Fatal("data corrupted through the nested stack")
+			}
+			// The bytes must really be on the physical disk image (L2
+			// sector 128 passes through the stack unchanged in our layout).
+			onDisk, err := io.Disk.ReadSync(128, len(pattern))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(onDisk, pattern) {
+				t.Fatal("physical image does not hold the guest's bytes")
+			}
+		})
+	}
+}
+
+func TestNestedNetworkDataIntegrity(t *testing.T) {
+	for _, mode := range []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig(mode)
+			io := WireNestedIO(&cfg, DefaultIOParams())
+			m := NewNested(cfg)
+			// RespSize <= 0: the peer echoes request bytes verbatim.
+			io.NIC.Peer = &netsim.EchoPeer{
+				Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
+				ServiceTime: 2 * sim.Microsecond,
+			}
+			msg := []byte("nested virtualization, end to end")
+			var got []byte
+			m.InstallL2(io, true, false, func(env *guest.Env) {
+				done := false
+				env.Net.OnReceive = func(pkt []byte) {
+					got = pkt
+					done = true
+				}
+				if err := env.Net.Send(msg, nil); err != nil {
+					t.Error(err)
+					return
+				}
+				env.WaitFor(func() bool { return done })
+			})
+			m.Run()
+			m.Shutdown()
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("echo mismatch: got %q want %q", got, msg)
+			}
+		})
+	}
+}
+
+func TestNestedExitMixForDiskIO(t *testing.T) {
+	cfg := DefaultConfig(hv.ModeBaseline)
+	io := WireNestedIO(&cfg, DefaultIOParams())
+	m := NewNested(cfg)
+	m.InstallL2(io, false, true, func(env *guest.Env) {
+		for i := 0; i < 10; i++ {
+			if _, ok := env.Blk.Read(uint64(i*8), 512); !ok {
+				t.Error("read failed")
+			}
+		}
+	})
+	m.Run()
+	m.Shutdown()
+	p := &m.L0.NestedProf
+	// Every nested disk op must show EPT_MISCONFIG (kick + intr-ack),
+	// interrupt traffic, and x2APIC writes in the nested profile.
+	for _, r := range []isa.ExitReason{isa.ExitEPTMisconfig, isa.ExitExternalInterrupt, isa.ExitAPICWrite} {
+		if p.Count[r] == 0 {
+			t.Errorf("no %v exits recorded", r)
+		}
+	}
+}

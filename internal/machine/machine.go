@@ -1,0 +1,461 @@
+// Package machine assembles the full simulated system of the paper's
+// evaluation (Table 4): host hypervisor (L0), guest hypervisor (L1) and
+// nested VM (L2), in any of the three configurations — baseline nested
+// virtualization, the SW SVt prototype, and the HW SVt hardware model —
+// and runs workloads on it.
+package machine
+
+import (
+	"fmt"
+
+	"svtsim/internal/apic"
+	"svtsim/internal/core"
+	"svtsim/internal/cost"
+	"svtsim/internal/cpu"
+	"svtsim/internal/ept"
+	"svtsim/internal/hv"
+	"svtsim/internal/isa"
+	"svtsim/internal/mem"
+	"svtsim/internal/sim"
+	"svtsim/internal/swsvt"
+	"svtsim/internal/vmcs"
+)
+
+// Physical layout of the simulated machine. RAM windows are sized for
+// the synthetic workloads, not the testbed's full 128 GB — the sparse
+// memory model supports the full size, but experiments touch megabytes.
+const (
+	HostMemSize = 128 << 30 // Table 4: 2×64 GB
+
+	L1RAMBase = 0x1_0000_0000 // host-physical placement of L1's RAM
+	L1RAMSize = 64 << 20
+
+	L2InL1Base = 16 << 20 // L2's RAM inside L1's guest-physical space
+	L2RAMSize  = 32 << 20
+
+	// Virtio device windows (guest-physical, EPT-misconfigured).
+	L1NetMMIO = 0xFE00_0000
+	L1BlkMMIO = 0xFE01_0000
+	L2NetMMIO = 0xFE00_0000
+	L2BlkMMIO = 0xFE01_0000
+	MMIOSize  = 0x1000
+
+	// Device IDs (EPT misconfig qualification values).
+	DevL1Net uint64 = 1
+	DevL1Blk uint64 = 2
+	DevL2Net uint64 = 11
+	DevL2Blk uint64 = 12
+
+	// Guest-physical addresses inside L1 used by its hypervisor.
+	Vmcs12GPA    = 0x0010_0000
+	MSRBitmapGPA = 0x0010_2000
+
+	// EPT pointer identifiers.
+	EPTP01 uint64 = 0xE001
+	EPTP12 uint64 = 0xE012
+	EPTP02 uint64 = 0xE002
+)
+
+// Config selects the machine variant.
+type Config struct {
+	Mode  hv.Mode
+	Costs cost.Model
+	Seed  int64
+
+	// SW SVt channel parameters (§5.2/§6.1).
+	WaitPolicy      swsvt.Policy
+	Placement       swsvt.Placement
+	BlockedProtocol bool
+
+	// WireL0 attaches workload devices to the host hypervisor at build
+	// time (virtio backends for L1's devices).
+	WireL0 func(m *Machine)
+	// WireL1 attaches workload devices to the guest hypervisor; it runs
+	// inside L1 once its hypervisor instance exists.
+	WireL1 func(m *Machine, h1 *hv.Hypervisor, plat *hv.VirtualPlatform, port *cpu.Port)
+	// L1IRQHook, when set, runs first in the L1 main vCPU's kernel
+	// interrupt handler (used by the §5.3 scenario tests).
+	L1IRQHook func(vec int)
+	// DisableVMCSShadowing turns off hardware VMCS shadowing (§2.1), the
+	// ablation that quantifies how many of the guest hypervisor's field
+	// accesses the hardware absorbs.
+	DisableVMCSShadowing bool
+}
+
+// DefaultConfig returns the calibrated configuration for a mode.
+func DefaultConfig(mode hv.Mode) Config {
+	return Config{
+		Mode:            mode,
+		Costs:           cost.Baseline(),
+		Seed:            1,
+		WaitPolicy:      swsvt.PolicyMwait,
+		Placement:       swsvt.PlaceSMT,
+		BlockedProtocol: true,
+	}
+}
+
+// Machine is an assembled simulation instance.
+type Machine struct {
+	Cfg Config
+
+	Eng       *sim.Engine
+	Core      *cpu.Core
+	HostMem   *mem.Memory
+	HostAlloc *mem.Allocator
+
+	L0   *hv.Hypervisor
+	Real *hv.RealPlatform
+
+	// Nested stack (nil for single-level machines).
+	VcpuL1  *hv.VCPU
+	L1Guest *cpu.NativeGuest
+	L1HV    *hv.Hypervisor
+	VC12    *hv.VCPU
+	Ns      *hv.NestedState
+	L1Plat  *hv.VirtualPlatform
+
+	Ept01 *ept.Table
+	Ept12 *ept.Table
+	Ept02 *ept.Table
+
+	// SW SVt plumbing.
+	Chan      *swsvt.Channel
+	SVtGuest  *cpu.NativeGuest
+	SVtThread *swsvt.SVtThread
+	VcpuSVt   *hv.VCPU
+
+	// Single-level guest (Figure 6's "L1" bar).
+	VcpuGuest *hv.VCPU
+
+	eptByVal      map[uint64]*ept.Table
+	nctx          int
+	l2NativeGuest *cpu.NativeGuest
+}
+
+func contextsFor(mode hv.Mode) int {
+	switch mode {
+	case hv.ModeHWSVt, hv.ModeHWSVtBypass:
+		return 3 // L0, L1, L2 each on their own SVt context
+	case hv.ModeSWSVt:
+		return 2 // SMT pair: L0₀+L2 / L0₁+L1-SVt-thread
+	default:
+		return 1
+	}
+}
+
+func newBase(cfg Config, nctx int) *Machine {
+	m := &Machine{Cfg: cfg, nctx: nctx}
+	m.Eng = sim.New()
+	m.HostMem = mem.New(HostMemSize)
+	m.HostAlloc = mem.NewAllocator(HostMemSize)
+	m.Core = cpu.New(m.Eng, &m.Cfg.Costs, nctx, m.HostMem)
+	for i := 0; i < nctx; i++ {
+		m.Core.SetLAPIC(cpu.ContextID(i), apic.New(i, m.Eng))
+	}
+	if cfg.Mode == hv.ModeHWSVt || cfg.Mode == hv.ModeHWSVtBypass {
+		if err := core.DefaultHierarchy().Enable(m.Core); err != nil {
+			panic(err)
+		}
+	}
+	m.Real = hv.NewRealPlatform(m.Core)
+	m.L0 = hv.New("L0", m.Real, &m.Cfg.Costs, 0, cfg.Mode)
+	m.L0.NoVMCSShadowing = cfg.DisableVMCSShadowing
+	return m
+}
+
+// newVmcs01 builds the host-side VMCS for one L1 vCPU.
+func (m *Machine) newVmcs01(name string) *vmcs.VMCS {
+	v := vmcs.New(name)
+	v.VMLevel = 1
+	v.Write(vmcs.PinControls, vmcs.PinCtlExtIntExit)
+	v.Write(vmcs.ProcControls, vmcs.ProcCtlHLTExit|vmcs.ProcCtlUseMSRBitmap)
+	v.Write(vmcs.EPTPointer, EPTP01)
+	v.SetMSRExit(isa.MSRTSCDeadline, true)
+	v.Write(vmcs.HostRIP, 0xFFFF_8000_0000_0000)
+	if m.Cfg.Mode == hv.ModeHWSVt || m.Cfg.Mode == hv.ModeHWSVtBypass {
+		core.DefaultHierarchy().ConfigureVisorVMCS(v)
+	}
+	return v
+}
+
+// NewNested assembles the full three-level stack.
+func NewNested(cfg Config) *Machine {
+	m := newBase(cfg, contextsFor(cfg.Mode))
+	m.eptByVal = make(map[uint64]*ept.Table)
+
+	// L0's EPT for L1: RAM window plus L1's virtio device windows.
+	m.Ept01 = ept.New("ept01")
+	if err := m.Ept01.Map(0, L1RAMBase, L1RAMSize, ept.PermRWX); err != nil {
+		panic(err)
+	}
+	must(m.Ept01.MapMisconfig(L1NetMMIO, MMIOSize, DevL1Net))
+	must(m.Ept01.MapMisconfig(L1BlkMMIO, MMIOSize, DevL1Blk))
+	m.Core.RegisterEPT(EPTP01, m.Ept01)
+	m.eptByVal[EPTP01] = m.Ept01
+
+	// L1's EPT for L2 (built by L1 at boot in reality; static here) plus
+	// L2's virtio device windows, emulated by L1.
+	m.Ept12 = ept.New("ept12")
+	if err := m.Ept12.Map(0, L2InL1Base, L2RAMSize, ept.PermRWX); err != nil {
+		panic(err)
+	}
+	must(m.Ept12.MapMisconfig(L2NetMMIO, MMIOSize, DevL2Net))
+	must(m.Ept12.MapMisconfig(L2BlkMMIO, MMIOSize, DevL2Blk))
+	m.eptByVal[EPTP12] = m.Ept12
+
+	// VMCS triple.
+	vmcs01 := m.newVmcs01("vmcs01")
+	vmcs12 := vmcs.New("vmcs12")
+	vmcs12.VMLevel = 2
+	vmcs02 := vmcs.New("vmcs02")
+	vmcs02.VMLevel = 2
+	vmcs02.Write(vmcs.HostRIP, 0xFFFF_8000_0000_0000)
+	if cfg.Mode == hv.ModeHWSVt || cfg.Mode == hv.ModeHWSVtBypass {
+		core.DefaultHierarchy().ConfigureNestedVMCS(vmcs02)
+	}
+
+	// L2 runs on the last context (0 baseline/SW SVt, 2 HW SVt).
+	l2ctx := cpu.ContextID(0)
+	l1ctx := cpu.ContextID(0)
+	if cfg.Mode == hv.ModeHWSVt || cfg.Mode == hv.ModeHWSVtBypass {
+		l1ctx, l2ctx = 1, 2
+	}
+
+	l2vcpu := hv.NewVCPU("L2.vcpu0", l2ctx, vmcs02, nil, 2)
+
+	m.Ns = &hv.NestedState{
+		Vmcs12:     vmcs12,
+		Vmcs12Addr: Vmcs12GPA,
+		Vmcs02:     vmcs02,
+		L2VCPU:     l2vcpu,
+		Xlat: func(f vmcs.Field, gpa uint64) (uint64, error) {
+			return m.Ept01.Translate(gpa, ept.PermR)
+		},
+		Forced: vmcs.ForcedControls{
+			Pin:      vmcs.PinCtlExtIntExit,
+			ForceMSR: []uint32{isa.MSRTSCDeadline},
+		},
+	}
+	m.Ns.OnEPTP = func(eptp12 uint64) {
+		inner := m.eptByVal[eptp12]
+		if inner == nil {
+			panic(fmt.Sprintf("machine: L1 installed unknown EPTP %#x", eptp12))
+		}
+		shadow, err := ept.Compose("ept02", inner, m.Ept01)
+		if err != nil {
+			panic(err)
+		}
+		m.Ept02 = shadow
+		m.Core.RegisterEPT(EPTP02, shadow)
+		vmcs02.Write(vmcs.EPTPointer, EPTP02)
+	}
+	m.Ns.OnINVEPT = func(eptp12 uint64) {
+		if m.Ept02 != nil {
+			m.Ept02.Invalidate()
+		}
+	}
+
+	// L1's vCPU record for L2: the guest hypervisor's own view.
+	m.VC12 = hv.NewVCPU("L1.vcpu-l2", 0, vmcs12, nil, 1)
+	m.VC12.VMCSAddr = Vmcs12GPA
+	m.VC12.VirtLAPIC = apic.New(100, m.Eng)
+
+	// The main L1 vCPU: a native guest running the guest hypervisor.
+	m.L1Guest = cpu.NewNativeGuest("L1-main", m.Core, l1ctx, m.l1Body)
+	m.VcpuL1 = hv.NewVCPU("L1.vcpu0", l1ctx, vmcs01, m.L1Guest, 1)
+	m.VcpuL1.Nested = m.Ns
+	m.VcpuL1.VirtLAPIC = apic.New(10, m.Eng)
+	m.L1Guest.Port().VirtLAPIC = m.VcpuL1.VirtLAPIC
+
+	if cfg.Mode == hv.ModeSWSVt {
+		m.buildSWSVt()
+	}
+
+	if cfg.WireL0 != nil {
+		cfg.WireL0(m)
+	}
+	return m
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// buildSWSVt creates the SVt-thread vCPU, the command rings and the
+// reflection channel (Figure 5).
+func (m *Machine) buildSWSVt() {
+	vmcs01b := m.newVmcs01("vmcs01-svt")
+	m.SVtThread = &swsvt.SVtThread{VC12: m.VC12}
+	m.SVtGuest = cpu.NewNativeGuest("L1-svt-thread", m.Core, 1, func(p *cpu.Port) {
+		m.svtThreadSetup(p)
+		m.SVtThread.Body(p)
+	})
+	m.VcpuSVt = hv.NewVCPU("L1.vcpu1", 1, vmcs01b, m.SVtGuest, 1)
+	m.VcpuSVt.Nested = m.Ns
+	m.VcpuSVt.VirtLAPIC = apic.New(11, m.Eng)
+	m.SVtGuest.Port().VirtLAPIC = m.VcpuSVt.VirtLAPIC
+
+	m.Chan = &swsvt.Channel{
+		L0:              m.L0,
+		Core:            m.Core,
+		Costs:           &m.Cfg.Costs,
+		VcpuSVt:         m.VcpuSVt,
+		VcpuL1Main:      m.VcpuL1,
+		Ns:              m.Ns,
+		ToSVt:           swsvt.NewRing(64),
+		FromSVt:         swsvt.NewRing(64),
+		Policy:          m.Cfg.WaitPolicy,
+		Placement:       m.Cfg.Placement,
+		BlockedProtocol: m.Cfg.BlockedProtocol,
+	}
+	m.SVtThread.Ch = m.Chan
+	m.L0.SW = m.Chan
+	m.L0.OnPairHypercall = func(vc *hv.VCPU, arg uint64) {} // pairing recorded implicitly
+}
+
+// svtThreadSetup builds the guest-hypervisor instance the SVt-thread
+// serves traps with; it shares the L2 vCPU state with the main vCPU.
+func (m *Machine) svtThreadSetup(p *cpu.Port) {
+	plat := hv.NewVirtualPlatform(p)
+	h1 := hv.New("L1-svt", plat, &m.Cfg.Costs, 1, m.Cfg.Mode)
+	m.SVtThread.H1 = h1
+	m.SVtThread.Plat = plat
+	p.IRQHandler = h1.HandleKernelIRQ
+	if m.Cfg.WireL1 != nil {
+		m.Cfg.WireL1(m, h1, plat, p)
+	}
+}
+
+// l1Body is the guest hypervisor: it configures its nested VM through
+// genuinely trapping privileged operations and then runs the standard
+// trap-and-emulate loop. In SW SVt mode that loop blocks in its first
+// VMRESUME forever, with the SVt-thread serving all L2 traps (§5.2).
+func (m *Machine) l1Body(p *cpu.Port) {
+	plat := hv.NewVirtualPlatform(p)
+	h1 := hv.New("L1", plat, &m.Cfg.Costs, 1, m.Cfg.Mode)
+	m.L1HV = h1
+	m.L1Plat = plat
+	p.IRQHandler = h1.HandleKernelIRQ
+	if hook := m.Cfg.L1IRQHook; hook != nil {
+		p.IRQHandler = func(vec int) {
+			hook(vec)
+			h1.HandleKernelIRQ(vec)
+		}
+	}
+	if m.Cfg.Mode != hv.ModeSWSVt && m.Cfg.WireL1 != nil {
+		m.Cfg.WireL1(m, h1, plat, p)
+	}
+
+	vc12 := m.VC12
+	v12 := vc12.VMCS
+
+	// Boot-time configuration of the nested VM. The VMPTRLD and the
+	// control/pointer writes trap into L0 (shadowing covers only plain
+	// guest state).
+	plat.Load(vc12)
+	plat.VMWrite(v12, vmcs.PinControls, vmcs.PinCtlExtIntExit)
+	plat.VMWrite(v12, vmcs.ProcControls, vmcs.ProcCtlHLTExit|vmcs.ProcCtlUseMSRBitmap)
+	// The guest hypervisor traps the nested VM's timer deadline, x2APIC
+	// EOI and ICR writes (no nested APICv on this generation) — the MSR
+	// bitmap page is L1's own memory, written without traps.
+	v12.SetMSRExit(isa.MSRTSCDeadline, true)
+	v12.SetMSRExit(isa.MSRX2APICEOI, true)
+	v12.SetMSRExit(isa.MSRX2APICICR, true)
+	plat.VMWrite(v12, vmcs.MSRBitmapAddr, MSRBitmapGPA)
+	plat.VMWrite(v12, vmcs.EPTPointer, EPTP12)
+	plat.VMWrite(v12, vmcs.GuestRIP, 0x1000)
+
+	h1.RunLoop(vc12)
+}
+
+// SetL2Workload installs the nested VM's workload program.
+func (m *Machine) SetL2Workload(w cpu.ProgramGuest) {
+	m.Ns.L2VCPU.Guest = w
+}
+
+// Run executes the machine until the L2 workload reports done (or the
+// simulation deadlocks). It returns the L0 hypervisor's profile.
+func (m *Machine) Run() *hv.Profile {
+	m.L0.RunLoop(m.VcpuL1)
+	return &m.L0.Prof
+}
+
+// Shutdown unwinds any parked native-guest goroutines.
+func (m *Machine) Shutdown() {
+	if m.L1Guest != nil {
+		m.L1Guest.Kill()
+	}
+	if m.SVtGuest != nil {
+		m.SVtGuest.Kill()
+	}
+	if m.l2NativeGuest != nil {
+		m.l2NativeGuest.Kill()
+	}
+}
+
+// Now reports virtual time.
+func (m *Machine) Now() sim.Time { return m.Eng.Now() }
+
+// NewSingleLevel assembles an L0 + single guest machine (the paper's
+// Figure 6 "L1" configuration).
+func NewSingleLevel(cfg Config) *Machine {
+	cfg.Mode = hv.ModeBaseline
+	m := newBase(cfg, 1)
+	m.Ept01 = ept.New("ept01")
+	if err := m.Ept01.Map(0, L1RAMBase, L1RAMSize, ept.PermRWX); err != nil {
+		panic(err)
+	}
+	must(m.Ept01.MapMisconfig(L1NetMMIO, MMIOSize, DevL1Net))
+	must(m.Ept01.MapMisconfig(L1BlkMMIO, MMIOSize, DevL1Blk))
+	m.Core.RegisterEPT(EPTP01, m.Ept01)
+
+	v := m.newVmcs01("vmcs01")
+	m.VcpuGuest = hv.NewVCPU("L1.vcpu0", 0, v, nil, 1)
+	m.VcpuGuest.VirtLAPIC = apic.New(10, m.Eng)
+	if cfg.WireL0 != nil {
+		cfg.WireL0(m)
+	}
+	return m
+}
+
+// SetGuestWorkload installs the single-level guest workload.
+func (m *Machine) SetGuestWorkload(w cpu.ProgramGuest) { m.VcpuGuest.Guest = w }
+
+// RunSingle executes the single-level machine to completion.
+func (m *Machine) RunSingle() *hv.Profile {
+	m.L0.RunLoop(m.VcpuGuest)
+	return &m.L0.Prof
+}
+
+// RunNative executes a workload with no virtualization at all (the
+// Figure 6 "L0" bar): instructions cost their native latency and nothing
+// traps.
+func RunNative(costs *cost.Model, w cpu.ProgramGuest) sim.Time {
+	eng := sim.New()
+	for {
+		act := w.Step()
+		switch act.Kind {
+		case cpu.ActDone:
+			return eng.Now()
+		case cpu.ActCompute:
+			eng.Advance(act.Dur)
+		case cpu.ActHalt:
+			if !eng.Step() {
+				return eng.Now()
+			}
+		case cpu.ActInstr:
+			switch act.Instr.Op {
+			case isa.OpCPUID:
+				eng.Advance(costs.InstrCPUID)
+			case isa.OpRDMSR, isa.OpWRMSR:
+				eng.Advance(costs.InstrMSR)
+			case isa.OpMMIORead, isa.OpMMIOWrite:
+				eng.Advance(costs.InstrMMIO)
+			default:
+				eng.Advance(costs.InstrBase)
+			}
+		}
+	}
+}

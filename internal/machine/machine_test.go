@@ -1,0 +1,285 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"svtsim/internal/cpu"
+	"svtsim/internal/hv"
+	"svtsim/internal/isa"
+	"svtsim/internal/sim"
+)
+
+// cpuidLoop is the §6.1 micro-benchmark: a loop of cpuid instructions
+// (with an optional surrounding compute block).
+type cpuidLoop struct {
+	n       int
+	i       int
+	compute sim.Time
+}
+
+func (g *cpuidLoop) Step() cpu.Action {
+	if g.i >= 2*g.n {
+		return cpu.Action{Kind: cpu.ActDone}
+	}
+	g.i++
+	if g.i%2 == 1 && g.compute > 0 {
+		return cpu.Action{Kind: cpu.ActCompute, Dur: g.compute}
+	}
+	if g.i%2 == 1 {
+		g.i++
+	}
+	return cpu.Action{Kind: cpu.ActInstr, Instr: isa.CPUID(1)}
+}
+func (g *cpuidLoop) DeliverIRQ(int) {}
+
+// nestedCPUID runs n cpuid iterations on a nested stack and returns the
+// per-iteration latency, excluding the first (cold) iteration effects by
+// measuring a long run.
+func nestedCPUID(t *testing.T, mode hv.Mode, n int) (sim.Time, *Machine, *sim.Ledger) {
+	t.Helper()
+	cfg := DefaultConfig(mode)
+	m := NewNested(cfg)
+	led := &sim.Ledger{}
+	m.Eng.SetLedger(led)
+	m.SetL2Workload(&cpuidLoop{n: n})
+	m.Run()
+	defer m.Shutdown()
+	if m.L0.DeadlockDetected {
+		t.Fatal("simulation deadlocked")
+	}
+	per := m.Now() / sim.Time(n)
+	return per, m, led
+}
+
+func TestNestedCPUIDBaselineMatchesTable1(t *testing.T) {
+	const n = 2000
+	per, m, led := nestedCPUID(t, hv.ModeBaseline, n)
+
+	// Table 1: total 10.40 µs per nested cpuid. Accept ±5 %.
+	lo, hi := sim.Micros(9.88), sim.Micros(10.92)
+	if per < lo || per > hi {
+		t.Errorf("baseline nested cpuid = %v per iteration, want 10.40us ±5%%", per)
+	}
+
+	// The stage breakdown should reproduce Table 1's shape: the L0
+	// handler dominates (~47%), transforms ~12.5%, L1 handler ~19%, and
+	// the direct L2 work is negligible (<1%).
+	total := led.Total()
+	share := func(c sim.Category) float64 { return float64(led.T[c]) / float64(total) }
+	t.Logf("per-iter=%v breakdown: L2=%.1f%% swL2L0=%.1f%% xform=%.1f%% L0=%.1f%% swL0L1=%.1f%% L1=%.1f%%",
+		per, 100*share(sim.CatGuest), 100*share(sim.CatSwitchL2L0), 100*share(sim.CatTransform),
+		100*share(sim.CatL0), 100*share(sim.CatSwitchL0L1), 100*share(sim.CatL1))
+
+	if s := share(sim.CatL0); s < 0.38 || s > 0.56 {
+		t.Errorf("L0 handler share = %.1f%%, want ≈47%%", 100*s)
+	}
+	if s := share(sim.CatTransform); s < 0.08 || s > 0.17 {
+		t.Errorf("transform share = %.1f%%, want ≈12.5%%", 100*s)
+	}
+	if s := share(sim.CatL1); s < 0.13 || s > 0.25 {
+		t.Errorf("L1 handler share = %.1f%%, want ≈19%%", 100*s)
+	}
+	if s := share(sim.CatGuest); s > 0.02 {
+		t.Errorf("L2 share = %.1f%%, want <2%%", 100*s)
+	}
+	// Every nested cpuid costs exactly one inner L1 exit in this flow
+	// (the non-shadowed控制 read), i.e. ≥ n VMREAD exits at L0.
+	if got := m.Core.Stats.ExitsByReason[isa.ExitVMRead]; got < uint64(n) {
+		t.Errorf("inner VMREAD exits = %d, want >= %d (Algorithm 1 lines 8-10)", got, n)
+	}
+}
+
+func TestNestedCPUIDSpeedups(t *testing.T) {
+	const n = 2000
+	base, _, _ := nestedCPUID(t, hv.ModeBaseline, n)
+	sw, _, _ := nestedCPUID(t, hv.ModeSWSVt, n)
+	hw, _, _ := nestedCPUID(t, hv.ModeHWSVt, n)
+
+	swSpeed := float64(base) / float64(sw)
+	hwSpeed := float64(base) / float64(hw)
+	t.Logf("cpuid: base=%v sw=%v (%.2fx) hw=%v (%.2fx)", base, sw, swSpeed, hw, hwSpeed)
+
+	// Figure 6: SW SVt 1.23×, HW SVt 1.94×.
+	if swSpeed < 1.10 || swSpeed > 1.36 {
+		t.Errorf("SW SVt speedup = %.2fx, want ≈1.23x", swSpeed)
+	}
+	if hwSpeed < 1.75 || hwSpeed > 2.15 {
+		t.Errorf("HW SVt speedup = %.2fx, want ≈1.94x", hwSpeed)
+	}
+}
+
+func TestFigure6Hierarchy(t *testing.T) {
+	// L0 (native) < L1 (single level) < SVt variants < L2 (baseline).
+	const n = 500
+	costs := DefaultConfig(hv.ModeBaseline).Costs
+	native := RunNative(&costs, &cpuidLoop{n: n}) / n
+
+	cfg := DefaultConfig(hv.ModeBaseline)
+	ms := NewSingleLevel(cfg)
+	ms.SetGuestWorkload(&cpuidLoop{n: n})
+	ms.RunSingle()
+	single := ms.Now() / n
+
+	base, _, _ := nestedCPUID(t, hv.ModeBaseline, n)
+	hw, _, _ := nestedCPUID(t, hv.ModeHWSVt, n)
+
+	t.Logf("L0=%v L1=%v L2=%v HW-SVt=%v", native, single, base, hw)
+	if !(native < single && single < hw && hw < base) {
+		t.Fatalf("hierarchy violated: L0=%v L1=%v HW=%v L2=%v", native, single, hw, base)
+	}
+	// The paper: native cpuid is 0.05 µs.
+	if native != 50 {
+		t.Errorf("native cpuid = %v, want 50ns", native)
+	}
+	// Single-level guest: one exit round trip, a few µs — far below nested.
+	if single > base/2 {
+		t.Errorf("single-level (%v) should be far cheaper than nested (%v)", single, base)
+	}
+}
+
+func TestHWSVtBehaviour(t *testing.T) {
+	const n = 200
+	_, m, _ := nestedCPUID(t, hv.ModeHWSVt, n)
+	st := &m.Core.Stats
+	// No register thunks and no level swaps under SVt; stall/resumes instead.
+	if st.ThunkRegMoves != 0 {
+		t.Errorf("HW SVt must not run register thunks, got %d moves", st.ThunkRegMoves)
+	}
+	if st.LevelSwaps != 0 {
+		t.Errorf("HW SVt must not pay level swaps, got %d", st.LevelSwaps)
+	}
+	if st.StallResumes == 0 {
+		t.Error("HW SVt must switch contexts via stall/resume")
+	}
+	if st.CtxtAccesses == 0 {
+		t.Error("HW SVt hypervisors must use ctxtld/ctxtst for guest registers")
+	}
+}
+
+func TestSWSVtBehaviour(t *testing.T) {
+	const n = 200
+	_, m, _ := nestedCPUID(t, hv.ModeSWSVt, n)
+	if m.Chan.Reflections < uint64(n) {
+		t.Errorf("ring reflections = %d, want >= %d", m.Chan.Reflections, n)
+	}
+	if m.SVtThread.Handled < uint64(n) {
+		t.Errorf("SVt-thread handled %d traps, want >= %d", m.SVtThread.Handled, n)
+	}
+	// The main L1 vCPU enters its VMRESUME once and never comes back: all
+	// reflections go over the ring.
+	if got := m.Core.Stats.ExitsByReason[isa.ExitVMResume]; got > 3 {
+		t.Errorf("L1-main VMRESUME exits = %d, want ~1 (SVt-thread serves the rest)", got)
+	}
+}
+
+func TestBaselineExitAmplification(t *testing.T) {
+	// §1: nested virtualization multiplies VM traps by at least 2×. Count
+	// exits per cpuid in the baseline: 1 L2 exit + ≥1 L1 exit (VMRESUME)
+	// + ≥1 inner VMREAD exit.
+	const n = 300
+	_, m, _ := nestedCPUID(t, hv.ModeBaseline, n)
+	var totalExits uint64
+	for _, c := range m.Core.Stats.ExitsByReason {
+		totalExits += c
+	}
+	if totalExits < uint64(3*n) {
+		t.Errorf("total exits = %d for %d nested cpuids, want >= %d (2x+ amplification)", totalExits, n, 3*n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _, _ := nestedCPUID(t, hv.ModeBaseline, 100)
+	b, _, _ := nestedCPUID(t, hv.ModeBaseline, 100)
+	if a != b {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestProfileCoversCPUID(t *testing.T) {
+	_, m, _ := nestedCPUID(t, hv.ModeBaseline, 100)
+	if m.L0.Prof.Count[isa.ExitVMResume] == 0 {
+		t.Error("L0 profile must count VMRESUME exits")
+	}
+	if m.L1HV == nil || m.L1HV.Prof.Count[isa.ExitCPUID] == 0 {
+		t.Error("L1 profile must count the reflected CPUID exits")
+	}
+}
+
+func ExampleRunNative() {
+	costs := DefaultConfig(hv.ModeBaseline).Costs
+	total := RunNative(&costs, &cpuidLoop{n: 3})
+	fmt.Println(total)
+	// Output: 150ns
+}
+
+func TestHWSVtBypassExtension(t *testing.T) {
+	// The §3.1 bypass extension must beat plain HW SVt on the cpuid flow
+	// by skipping L0's trap-side dispatch and reflection entirely.
+	const n = 1000
+	hw, _, _ := nestedCPUID(t, hv.ModeHWSVt, n)
+	byp, mb, _ := nestedCPUID(t, hv.ModeHWSVtBypass, n)
+	base, _, _ := nestedCPUID(t, hv.ModeBaseline, n)
+	t.Logf("bypass: base=%v hw=%v bypass=%v (%.2fx over baseline)",
+		base, hw, byp, float64(base)/float64(byp))
+	if !(byp < hw) {
+		t.Fatalf("bypass (%v) must beat HW SVt (%v)", byp, hw)
+	}
+	// Correctness is unchanged: the workload completed and exits were
+	// delivered to L1 (its profile saw the CPUIDs).
+	if mb.L1HV.Prof.Count[isa.ExitCPUID] < uint64(n) {
+		t.Fatalf("L1 handled %d cpuid exits, want >= %d", mb.L1HV.Prof.Count[isa.ExitCPUID], n)
+	}
+}
+
+func TestShadowingAblation(t *testing.T) {
+	// Disabling hardware VMCS shadowing must make every guest-hypervisor
+	// field access trap, slowing the nested cpuid flow measurably (§2.1:
+	// shadowing eliminates some common nested virtualization traps).
+	run := func(disable bool) (sim.Time, uint64) {
+		cfg := DefaultConfig(hv.ModeBaseline)
+		cfg.DisableVMCSShadowing = disable
+		m := NewNested(cfg)
+		m.SetL2Workload(&cpuidLoop{n: 500})
+		m.Run()
+		defer m.Shutdown()
+		return m.Now() / 500, m.Core.Stats.ExitsByReason[isa.ExitVMRead] +
+			m.Core.Stats.ExitsByReason[isa.ExitVMWrite]
+	}
+	withShadow, trapsShadow := run(false)
+	noShadow, trapsNone := run(true)
+	t.Logf("shadowing ablation: with=%v (%d vmcs traps) without=%v (%d vmcs traps)",
+		withShadow, trapsShadow, noShadow, trapsNone)
+	if !(withShadow < noShadow) {
+		t.Fatal("shadowing must speed up nested handling")
+	}
+	if trapsNone <= trapsShadow*2 {
+		t.Fatal("disabling shadowing must multiply the VMCS-access traps")
+	}
+}
+
+func TestThunkRegisterSensitivity(t *testing.T) {
+	// §1: "each [trap] involves saving and restoring dozens of registers".
+	// The baseline nested cpuid must scale with the register count while
+	// HW SVt is insensitive to it (registers stay resident).
+	run := func(mode hv.Mode, regs int) sim.Time {
+		cfg := DefaultConfig(mode)
+		cfg.Costs.ThunkRegs = regs
+		m := NewNested(cfg)
+		m.SetL2Workload(&cpuidLoop{n: 300})
+		m.Run()
+		defer m.Shutdown()
+		return m.Now() / 300
+	}
+	base15 := run(hv.ModeBaseline, 15)
+	base60 := run(hv.ModeBaseline, 60)
+	hw15 := run(hv.ModeHWSVt, 15)
+	hw60 := run(hv.ModeHWSVt, 60)
+	t.Logf("thunk sweep: base 15=%v 60=%v | hw 15=%v 60=%v", base15, base60, hw15, hw60)
+	if !(base60 > base15+sim.Micros(1)) {
+		t.Fatal("baseline must pay for extra context registers")
+	}
+	if hw60 != hw15 {
+		t.Fatal("HW SVt must be insensitive to the register count")
+	}
+}

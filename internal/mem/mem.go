@@ -1,0 +1,137 @@
+// Package mem models physical memory. Address spaces in the simulated
+// machine (host physical memory, each VM's guest-physical memory) are
+// sparse: the testbed in the paper's Table 4 has 128 GB of host RAM and
+// VMs with 50/35 GB, but workloads touch only a tiny fraction, so pages
+// are materialized on first write.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the granularity of backing allocation and of EPT mappings.
+const PageSize = 4096
+
+// Memory is a sparse byte-addressable physical address space.
+// Reads of never-written pages return zeros, like fresh DRAM after the
+// hypervisor's zeroing.
+type Memory struct {
+	size  uint64
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns a memory of the given size in bytes.
+func New(size uint64) *Memory {
+	return &Memory{size: size, pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// Size reports the size of the address space in bytes.
+func (m *Memory) Size() uint64 { return m.size }
+
+// PagesResident reports how many pages have been materialized.
+func (m *Memory) PagesResident() int { return len(m.pages) }
+
+func (m *Memory) check(addr uint64, n int) error {
+	if n < 0 || addr+uint64(n) > m.size || addr+uint64(n) < addr {
+		return fmt.Errorf("mem: access [%#x,%#x) outside %#x-byte space", addr, addr+uint64(n), m.size)
+	}
+	return nil
+}
+
+// Read copies len(p) bytes starting at addr into p.
+func (m *Memory) Read(addr uint64, p []byte) error {
+	if err := m.check(addr, len(p)); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		pageIdx := addr / PageSize
+		off := addr % PageSize
+		n := PageSize - off
+		if uint64(len(p)) < n {
+			n = uint64(len(p))
+		}
+		if pg := m.pages[pageIdx]; pg != nil {
+			copy(p[:n], pg[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		addr += n
+	}
+	return nil
+}
+
+// Write copies p into memory starting at addr.
+func (m *Memory) Write(addr uint64, p []byte) error {
+	if err := m.check(addr, len(p)); err != nil {
+		return err
+	}
+	for len(p) > 0 {
+		pageIdx := addr / PageSize
+		off := addr % PageSize
+		n := PageSize - off
+		if uint64(len(p)) < n {
+			n = uint64(len(p))
+		}
+		pg := m.pages[pageIdx]
+		if pg == nil {
+			pg = new([PageSize]byte)
+			m.pages[pageIdx] = pg
+		}
+		copy(pg[off:off+n], p[:n])
+		p = p[n:]
+		addr += n
+	}
+	return nil
+}
+
+// ReadU16 reads a little-endian uint16 at addr.
+func (m *Memory) ReadU16(addr uint64) (uint16, error) {
+	var b [2]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+// ReadU32 reads a little-endian uint32 at addr.
+func (m *Memory) ReadU32(addr uint64) (uint32, error) {
+	var b [4]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (m *Memory) ReadU64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := m.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU16 writes a little-endian uint16 at addr.
+func (m *Memory) WriteU16(addr uint64, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return m.Write(addr, b[:])
+}
+
+// WriteU32 writes a little-endian uint32 at addr.
+func (m *Memory) WriteU32(addr uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return m.Write(addr, b[:])
+}
+
+// WriteU64 writes a little-endian uint64 at addr.
+func (m *Memory) WriteU64(addr uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return m.Write(addr, b[:])
+}

@@ -1,0 +1,279 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadZeroFill(t *testing.T) {
+	m := New(1 << 20)
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if err := m.Read(4096, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten memory must read as zero")
+		}
+	}
+	if m.PagesResident() != 0 {
+		t.Fatal("reads must not materialize pages")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m := New(1 << 20)
+	data := []byte("the turtles project")
+	if err := m.Write(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.Read(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q want %q", got, data)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New(1 << 20)
+	data := make([]byte, 3*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	addr := uint64(PageSize - 13) // straddles three pages
+	if err := m.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.Read(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip corrupted data")
+	}
+	if m.PagesResident() != 4 {
+		t.Fatalf("resident pages = %d, want 4", m.PagesResident())
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	m := New(1000)
+	if err := m.Write(990, make([]byte, 20)); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+	if err := m.Read(2000, make([]byte, 1)); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+	// Overflow-wrapping access must also fail.
+	if err := m.Read(^uint64(0)-4, make([]byte, 16)); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestScalarAccessors(t *testing.T) {
+	m := New(1 << 16)
+	if err := m.WriteU16(0, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadU16(0); v != 0xBEEF {
+		t.Fatalf("u16 = %#x", v)
+	}
+	if err := m.WriteU32(8, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadU32(8); v != 0xDEADBEEF {
+		t.Fatalf("u32 = %#x", v)
+	}
+	if err := m.WriteU64(16, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadU64(16); v != 0x0102030405060708 {
+		t.Fatalf("u64 = %#x", v)
+	}
+	// Little-endian layout check.
+	b := make([]byte, 2)
+	if err := m.Read(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0xEF || b[1] != 0xBE {
+		t.Fatalf("layout = %x, want little-endian", b)
+	}
+}
+
+func TestScalarOutOfBounds(t *testing.T) {
+	m := New(10)
+	if _, err := m.ReadU64(8); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := m.WriteU32(9, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: for any sequence of writes, a read returns the last write to
+// each byte (against a flat reference model).
+func TestMemoryMatchesReference(t *testing.T) {
+	const space = 1 << 14
+	type op struct {
+		Addr uint16
+		Data []byte
+	}
+	prop := func(ops []op) bool {
+		m := New(space)
+		ref := make([]byte, space)
+		for _, o := range ops {
+			addr := uint64(o.Addr)
+			data := o.Data
+			if len(data) > 256 {
+				data = data[:256]
+			}
+			if addr+uint64(len(data)) > space {
+				continue
+			}
+			if err := m.Write(addr, data); err != nil {
+				return false
+			}
+			copy(ref[addr:], data)
+		}
+		got := make([]byte, space)
+		if err := m.Read(0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseLargeSpace(t *testing.T) {
+	m := New(128 << 30) // the testbed's 128 GB
+	if err := m.WriteU64(100<<30, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadU64(100 << 30); v != 42 {
+		t.Fatal("high-address write lost")
+	}
+	if m.PagesResident() != 1 {
+		t.Fatalf("resident = %d, want 1", m.PagesResident())
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	b1, err := a.Alloc(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Alloc(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 == b2 {
+		t.Fatal("overlapping allocations")
+	}
+	if a.InUse() != 8192 {
+		t.Fatalf("in use = %d", a.InUse())
+	}
+	if err := a.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 4096 {
+		t.Fatalf("in use after free = %d", a.InUse())
+	}
+	// Freed space is reusable.
+	b3, err := a.Alloc(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 != b1 {
+		t.Fatalf("first-fit should reuse freed region: got %#x want %#x", b3, b1)
+	}
+}
+
+func TestAllocatorAlignment(t *testing.T) {
+	a := NewAllocator(1 << 30)
+	if _, err := a.Alloc(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Alloc(4096, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b%(1<<20) != 0 {
+		t.Fatalf("misaligned: %#x", b)
+	}
+}
+
+func TestAllocatorErrors(t *testing.T) {
+	a := NewAllocator(8192)
+	if _, err := a.Alloc(0, 0); err == nil {
+		t.Fatal("zero-size alloc must fail")
+	}
+	if _, err := a.Alloc(4096, 3); err == nil {
+		t.Fatal("non-power-of-two align must fail")
+	}
+	if _, err := a.Alloc(1<<30, 0); err == nil {
+		t.Fatal("oversize alloc must fail")
+	}
+	if err := a.Free(12345); err == nil {
+		t.Fatal("freeing unallocated base must fail")
+	}
+}
+
+func TestAllocatorExhaustionAndGapFill(t *testing.T) {
+	a := NewAllocator(3 * 4096)
+	b0, _ := a.Alloc(4096, 0)
+	b1, _ := a.Alloc(4096, 0)
+	b2, _ := a.Alloc(4096, 0)
+	if _, err := a.Alloc(4096, 0); err == nil {
+		t.Fatal("space should be exhausted")
+	}
+	_ = b0
+	_ = b2
+	if err := a.Free(b1); err != nil {
+		t.Fatal(err)
+	}
+	nb, err := a.Alloc(4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb != b1 {
+		t.Fatalf("gap not reused: %#x vs %#x", nb, b1)
+	}
+}
+
+// Property: allocations never overlap.
+func TestAllocatorNoOverlapProperty(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		a := NewAllocator(1 << 24)
+		type reg struct{ base, size uint64 }
+		var regs []reg
+		for _, s := range sizes {
+			size := uint64(s)%8192 + 1
+			b, err := a.Alloc(size, 0)
+			if err != nil {
+				continue
+			}
+			regs = append(regs, reg{b, size})
+		}
+		for i := range regs {
+			for j := i + 1; j < len(regs); j++ {
+				x, y := regs[i], regs[j]
+				if x.base < y.base+y.size && y.base < x.base+x.size {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

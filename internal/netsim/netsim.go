@@ -1,0 +1,101 @@
+// Package netsim models the network substrate of the testbed: a 10 GbE
+// NIC (Intel X540) connected over a full-duplex link to a peer machine.
+// Links have propagation latency and serialize packets at line rate, so
+// netperf-style bandwidth tests saturate realistically (Figure 7's
+// network bandwidth sits near the physical 10 Gb/s limit).
+package netsim
+
+import "svtsim/internal/sim"
+
+// Endpoint receives packets from a link.
+type Endpoint interface {
+	Receive(pkt []byte)
+}
+
+// Link is one direction of a full-duplex cable.
+type Link struct {
+	Eng        *sim.Engine
+	Latency    sim.Time // propagation + switch latency
+	BitsPerSec float64  // line rate
+
+	busyUntil sim.Time
+	Bytes     uint64
+	Packets   uint64
+}
+
+// NewLink builds a link; rate is in bits per second.
+func NewLink(eng *sim.Engine, latency sim.Time, rate float64) *Link {
+	return &Link{Eng: eng, Latency: latency, BitsPerSec: rate}
+}
+
+// txTime is the serialization delay of size bytes at line rate.
+func (l *Link) txTime(size int) sim.Time {
+	if l.BitsPerSec <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size*8) / l.BitsPerSec * float64(sim.Second))
+}
+
+// Send transmits pkt to dst, modelling serialization and propagation.
+// It returns the time the last bit leaves the wire locally (TX done).
+func (l *Link) Send(pkt []byte, dst Endpoint) sim.Time {
+	start := l.Eng.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txDone := start + l.txTime(len(pkt))
+	l.busyUntil = txDone
+	l.Bytes += uint64(len(pkt))
+	l.Packets++
+	data := append([]byte(nil), pkt...)
+	l.Eng.At(txDone+l.Latency, func() { dst.Receive(data) })
+	return txDone
+}
+
+// NIC is the host's physical network interface: it implements the
+// virtio Transport on one side and sits on a link pair on the other.
+type NIC struct {
+	Eng  *sim.Engine
+	Out  *Link // NIC -> peer
+	Peer Endpoint
+
+	// DMADelay models descriptor fetch + PCIe DMA before the wire.
+	DMADelay sim.Time
+
+	recv func(pkt []byte)
+
+	TxPackets uint64
+	RxPackets uint64
+}
+
+// NewNIC builds a NIC transmitting on out.
+func NewNIC(eng *sim.Engine, out *Link, peer Endpoint) *NIC {
+	return &NIC{Eng: eng, Out: out, Peer: peer, DMADelay: 2 * sim.Microsecond}
+}
+
+// Send implements virtio.Transport: DMA the packet, put it on the wire,
+// and report TX completion when the last bit leaves.
+func (n *NIC) Send(pkt []byte, done func()) {
+	n.TxPackets++
+	data := append([]byte(nil), pkt...)
+	n.Eng.After(n.DMADelay, func() {
+		txDone := n.Out.Send(data, n.Peer)
+		if done != nil {
+			n.Eng.At(txDone, done)
+		}
+	})
+}
+
+// SetReceiver implements virtio.Transport.
+func (n *NIC) SetReceiver(fn func(pkt []byte)) { n.recv = fn }
+
+// Receive implements Endpoint: inbound packets go to the registered
+// receiver (the host's virtio backend) after DMA.
+func (n *NIC) Receive(pkt []byte) {
+	n.RxPackets++
+	if n.recv == nil {
+		return
+	}
+	data := pkt
+	n.Eng.After(n.DMADelay, func() { n.recv(data) })
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"math"
+
+	"svtsim/internal/sim"
+)
+
+// EchoPeer models the remote netperf TCP_RR endpoint: every received
+// request is answered with a response of RespSize bytes after
+// ServiceTime. It also serves as the remote memcached/mutilate side when
+// the guest is the server (responses flow back on the return link).
+type EchoPeer struct {
+	Eng         *sim.Engine
+	Back        *Link // peer -> NIC
+	Dst         Endpoint
+	ServiceTime sim.Time
+	RespSize    int
+
+	Requests uint64
+}
+
+// Receive implements Endpoint. With RespSize <= 0 the peer echoes the
+// request bytes back verbatim (useful for end-to-end integrity checks);
+// otherwise it responds with RespSize zero bytes.
+func (p *EchoPeer) Receive(pkt []byte) {
+	p.Requests++
+	var resp []byte
+	if p.RespSize <= 0 {
+		resp = append([]byte(nil), pkt...)
+	} else {
+		resp = make([]byte, p.RespSize)
+	}
+	p.Eng.After(p.ServiceTime, func() { p.Back.Send(resp, p.Dst) })
+}
+
+// AckPeer models the remote end of a netperf TCP_STREAM: it acknowledges
+// every AckEvery bytes with a small ACK packet, which is what closes the
+// sender's window.
+type AckPeer struct {
+	Eng      *sim.Engine
+	Back     *Link
+	Dst      Endpoint
+	AckEvery int
+	AckSize  int
+
+	Received   uint64
+	unackedLen int
+}
+
+// Receive implements Endpoint.
+func (p *AckPeer) Receive(pkt []byte) {
+	p.Received += uint64(len(pkt))
+	p.unackedLen += len(pkt)
+	every := p.AckEvery
+	if every <= 0 {
+		every = 1
+	}
+	for p.unackedLen >= every {
+		p.unackedLen -= every
+		size := p.AckSize
+		if size <= 0 {
+			size = 64
+		}
+		ack := make([]byte, size)
+		p.Back.Send(ack, p.Dst)
+	}
+}
+
+// OpenLoopClient models mutilate-style load generation: requests arrive
+// at the guest server with exponential inter-arrival times at a target
+// rate, and the client records the full round-trip latency of each
+// response (matching by FIFO order, as on one TCP connection).
+type OpenLoopClient struct {
+	Eng     *sim.Engine
+	Back    *Link
+	Dst     Endpoint
+	ReqSize int
+	// Payload, when set, generates each request's bytes (overrides ReqSize).
+	Payload func() []byte
+
+	inflight []sim.Time // send timestamps, FIFO
+	Lat      []float64  // response latencies in microseconds
+
+	Sent      uint64
+	Responses uint64
+}
+
+// Start begins issuing requests at rate req/s until stopAt, using the
+// provided uniform random source for exponential spacing.
+func (c *OpenLoopClient) Start(rate float64, stopAt sim.Time, rnd func() float64) {
+	if rate <= 0 {
+		return
+	}
+	var issue func()
+	mean := float64(sim.Second) / rate
+	issue = func() {
+		if c.Eng.Now() >= stopAt {
+			return
+		}
+		c.send()
+		gap := sim.Time(expSample(rnd, mean))
+		if gap < 1 {
+			gap = 1
+		}
+		c.Eng.After(gap, issue)
+	}
+	c.Eng.After(sim.Time(expSample(rnd, mean)), issue)
+}
+
+func expSample(rnd func() float64, mean float64) float64 {
+	u := rnd()
+	if u <= 0 {
+		u = 1e-12
+	}
+	// Inverse-CDF exponential sample.
+	return -mean * ln(u)
+}
+
+func ln(x float64) float64 { return math.Log(x) }
+
+func (c *OpenLoopClient) send() {
+	c.Sent++
+	c.inflight = append(c.inflight, c.Eng.Now())
+	var req []byte
+	if c.Payload != nil {
+		req = c.Payload()
+	} else {
+		req = make([]byte, c.ReqSize)
+	}
+	c.Back.Send(req, c.Dst)
+}
+
+// Receive implements Endpoint: a response closes the oldest request.
+func (c *OpenLoopClient) Receive(pkt []byte) {
+	if len(c.inflight) == 0 {
+		return
+	}
+	t0 := c.inflight[0]
+	c.inflight = c.inflight[1:]
+	c.Responses++
+	c.Lat = append(c.Lat, (c.Eng.Now() - t0).Microseconds())
+}

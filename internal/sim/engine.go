@@ -1,0 +1,172 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events fire in (time, scheduling order)
+// order, which keeps simulations deterministic even when many events share
+// a timestamp.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	engine *Engine
+}
+
+// At reports the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Pending reports whether the event is still queued.
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event engine with a virtual clock.
+// The zero value is not usable; construct with New.
+type Engine struct {
+	now        Time
+	queue      eventHeap
+	seq        uint64
+	dispatched uint64
+	ledger     *Ledger
+}
+
+// New returns an engine with the clock at zero and an empty queue.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Dispatched reports how many events have fired so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Advance moves the clock forward by d without dispatching events; it is
+// how executing entities charge compute time. Negative durations are
+// ignored so call sites can pass raw model deltas.
+func (e *Engine) Advance(d Time) {
+	if d > 0 {
+		e.now += d
+		if e.ledger != nil {
+			e.ledger.T[e.ledger.cur] += d
+		}
+	}
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to "now" (they fire at the next dispatch point).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event; canceling a fired or already-canceled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.engine != e {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+}
+
+// PendingEvents reports the number of queued events.
+func (e *Engine) PendingEvents() int { return len(e.queue) }
+
+// NextEventTime reports the timestamp of the earliest pending event.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// DispatchDue fires, in order, every event whose time is <= now. It returns
+// the number of events fired. Events scheduled by fired callbacks for a
+// due time are also fired before returning.
+func (e *Engine) DispatchDue() int {
+	n := 0
+	for len(e.queue) > 0 && e.queue[0].at <= e.now {
+		ev := heap.Pop(&e.queue).(*Event)
+		e.dispatched++
+		n++
+		ev.fn()
+	}
+	return n
+}
+
+// Step advances the clock to the next pending event and dispatches
+// everything due at that instant. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	if e.queue[0].at > e.now {
+		e.now = e.queue[0].at
+	}
+	e.DispatchDue()
+	return true
+}
+
+// RunUntil advances virtual time to t, dispatching all events on the way.
+// The clock always ends exactly at t (unless an event pushed it further via
+// Advance, which models an event that performed work).
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Drain runs until no events remain or until the safety cap of maxEvents
+// dispatches is hit; it reports whether the queue was fully drained.
+func (e *Engine) Drain(maxEvents uint64) bool {
+	start := e.dispatched
+	for len(e.queue) > 0 {
+		if e.dispatched-start >= maxEvents {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{Microsecond, "1.00us"},
+		{1290, "1.29us"},
+		{2500 * Microsecond, "2.50ms"},
+		{3 * Second, "3.000s"},
+		{-1290, "-1.29us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Nanosecond).Microseconds(); got != 1.5 {
+		t.Errorf("Microseconds = %v, want 1.5", got)
+	}
+	if got := Micros(10.4); got != 10400 {
+		t.Errorf("Micros(10.4) = %v, want 10400", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+	if got := (5 * Millisecond).Milliseconds(); got != 5 {
+		t.Errorf("Milliseconds = %v, want 5", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	e := New()
+	e.Advance(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+	e.Advance(-50) // negative ignored
+	if e.Now() != 100 {
+		t.Fatalf("Now after negative advance = %v, want 100", e.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.At(10, func() { order = append(order, 11) }) // same time: FIFO by schedule order
+	for e.Step() {
+	}
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestDispatchDueOnlyFiresDue(t *testing.T) {
+	e := New()
+	fired := 0
+	e.At(5, func() { fired++ })
+	e.At(50, func() { fired++ })
+	e.Advance(10)
+	if n := e.DispatchDue(); n != 1 || fired != 1 {
+		t.Fatalf("DispatchDue = %d fired = %d, want 1/1", n, fired)
+	}
+	if e.PendingEvents() != 1 {
+		t.Fatalf("pending = %d, want 1", e.PendingEvents())
+	}
+}
+
+func TestDispatchDueFiresCascades(t *testing.T) {
+	e := New()
+	var got []string
+	e.At(5, func() {
+		got = append(got, "a")
+		e.At(5, func() { got = append(got, "b") }) // due immediately
+	})
+	e.Advance(5)
+	e.DispatchDue()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("cascade got %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending")
+	}
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Fatal("event should not be pending after cancel")
+	}
+	e.RunUntil(100)
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+}
+
+func TestCancelForeignEventIgnored(t *testing.T) {
+	e1, e2 := New(), New()
+	fired := false
+	ev := e1.At(10, func() { fired = true })
+	e2.Cancel(ev) // wrong engine: must not touch e1's queue
+	e1.RunUntil(20)
+	if !fired {
+		t.Fatal("event should still fire after foreign cancel")
+	}
+}
+
+func TestPastEventClampsToNow(t *testing.T) {
+	e := New()
+	e.Advance(100)
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	if ev.At() != 100 {
+		t.Fatalf("past event at %v, want clamped to 100", ev.At())
+	}
+	e.DispatchDue()
+	if !fired {
+		t.Fatal("clamped event did not fire")
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	e := New()
+	e.Advance(7)
+	ev := e.After(-5, func() {})
+	if ev.At() != 7 {
+		t.Fatalf("After(-5) at %v, want 7", ev.At())
+	}
+}
+
+func TestRunUntilEndsAtTarget(t *testing.T) {
+	e := New()
+	e.At(10, func() {})
+	e.RunUntil(25)
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("pending = %d, want 0", e.PendingEvents())
+	}
+}
+
+func TestRunUntilDoesNotFireFuture(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(100, func() { fired = true })
+	e.RunUntil(50)
+	if fired {
+		t.Fatal("future event fired early")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %v, want 50", e.Now())
+	}
+}
+
+func TestDrainCap(t *testing.T) {
+	e := New()
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	if e.Drain(100) {
+		t.Fatal("Drain should hit cap on self-rescheduling event")
+	}
+	if e.Dispatched() != 100 {
+		t.Fatalf("dispatched = %d, want 100", e.Dispatched())
+	}
+}
+
+func TestDrainEmpties(t *testing.T) {
+	e := New()
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() { n++ })
+	}
+	if !e.Drain(1000) {
+		t.Fatal("Drain should empty the queue")
+	}
+	if n != 10 {
+		t.Fatalf("fired %d, want 10", n)
+	}
+}
+
+func TestStepEmptyQueue(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	e := New()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("empty queue should have no next event")
+	}
+	e.At(42, func() {})
+	e.At(17, func() {})
+	at, ok := e.NextEventTime()
+	if !ok || at != 17 {
+		t.Fatalf("NextEventTime = %v,%v want 17,true", at, ok)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := New()
+		r := NewRand(7)
+		var stamps []Time
+		for i := 0; i < 200; i++ {
+			e.At(Time(r.Intn(1000)), func() { stamps = append(stamps, e.Now()) })
+		}
+		for e.Step() {
+		}
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(times []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, tt := range times {
+			at := Time(tt)
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		for e.Step() {
+		}
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRandIndependence(t *testing.T) {
+	parent := NewRand(1)
+	a := SplitRand(parent)
+	b := SplitRand(parent)
+	// The two child streams must differ from each other.
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.Int63() != b.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("split streams are identical")
+	}
+}

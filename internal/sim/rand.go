@@ -1,0 +1,18 @@
+package sim
+
+import "math/rand"
+
+// NewRand returns a seeded pseudo-random source. Every stochastic element
+// of the simulation derives its stream from one of these so that a run is
+// fully determined by its top-level seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SplitRand derives an independent child stream from a parent stream.
+// Using distinct streams per model component keeps component behaviour
+// stable when unrelated components consume different amounts of
+// randomness.
+func SplitRand(parent *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(parent.Int63()))
+}

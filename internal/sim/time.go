@@ -1,0 +1,47 @@
+// Package sim provides the deterministic virtual-time substrate on which
+// the whole machine model runs: a virtual clock, an ordered event queue,
+// and seeded randomness. All timing in svtsim is expressed in virtual
+// nanoseconds; nothing in the simulator reads the wall clock, so runs are
+// exactly reproducible for a given seed.
+package sim
+
+import "fmt"
+
+// Time is a point in (or duration of) virtual time, in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros builds a Time from a floating-point number of microseconds.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// String formats the time with an adaptive unit, e.g. "1.29us" or "2.50ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.2fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates values into fixed-width buckets; it is used for
+// latency distributions (Figure 8) and for quick textual inspection of
+// simulation output.
+type Histogram struct {
+	Width   float64 // bucket width; values land in bucket floor(v/Width)
+	counts  map[int]int
+	total   int
+	sum     float64
+	samples []float64 // retained for exact percentiles
+}
+
+// NewHistogram returns a histogram with the given bucket width (> 0).
+func NewHistogram(width float64) *Histogram {
+	if width <= 0 {
+		panic("stats: histogram width must be positive")
+	}
+	return &Histogram{Width: width, counts: make(map[int]int)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	h.counts[int(v/h.Width)]++
+	h.total++
+	h.sum += v
+	h.samples = append(h.samples, v)
+}
+
+// N reports the number of recorded values.
+func (h *Histogram) N() int { return h.total }
+
+// Mean reports the mean of recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Percentile reports an exact percentile over the recorded values.
+func (h *Histogram) Percentile(p float64) float64 { return Percentile(h.samples, p) }
+
+// Samples returns a copy of all recorded values.
+func (h *Histogram) Samples() []float64 { return append([]float64(nil), h.samples...) }
+
+// String renders an ASCII sketch of the distribution, at most 20 rows.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty histogram)"
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	if len(keys) > 20 {
+		keys = keys[:20]
+	}
+	maxCount := 0
+	for _, k := range keys {
+		if h.counts[k] > maxCount {
+			maxCount = h.counts[k]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		c := h.counts[k]
+		bar := strings.Repeat("#", 1+c*40/maxCount)
+		fmt.Fprintf(&b, "%12.2f %6d %s\n", float64(k)*h.Width, c, bar)
+	}
+	return b.String()
+}

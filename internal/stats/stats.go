@@ -1,0 +1,202 @@
+// Package stats implements the measurement methodology used throughout the
+// paper's evaluation: sample summaries (mean, standard deviation,
+// percentiles), outlier rejection at a sigma multiple, and the
+// "repeat until the standard deviation is below a fraction of the mean"
+// confidence loop (§6: std-dev and timing overheads below 1% of the mean
+// with 2σ confidence after removing outliers with 4σ confidence).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoSamples is returned by operations that need at least one sample.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func Stddev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest sample; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	v := xs[0]
+	for _, x := range xs[1:] {
+		if x < v {
+			v = x
+		}
+	}
+	return v
+}
+
+// Max returns the largest sample; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	v := xs[0]
+	for _, x := range xs[1:] {
+		if x > v {
+			v = x
+		}
+	}
+	return v
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// RejectOutliers removes samples farther than sigma standard deviations
+// from the mean, as in the paper's 4σ outlier filter. The original slice
+// is not modified. If all samples would be rejected (pathological sigma),
+// the input is returned unchanged.
+func RejectOutliers(xs []float64, sigma float64) []float64 {
+	if len(xs) < 3 {
+		return append([]float64(nil), xs...)
+	}
+	m, sd := Mean(xs), Stddev(xs)
+	if sd == 0 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.Abs(x-m) <= sigma*sd {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		return append([]float64(nil), xs...)
+	}
+	return out
+}
+
+// Summary condenses a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary over xs. It returns ErrNoSamples for an
+// empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Stddev: Stddev(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P50:    percentileSorted(s, 50),
+		P95:    percentileSorted(s, 95),
+		P99:    percentileSorted(s, 99),
+	}, nil
+}
+
+// RelStddev returns stddev/mean, or 0 when the mean is 0.
+func RelStddev(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return Stddev(xs) / math.Abs(m)
+}
+
+// ConfidenceOpts parameterizes MeasureUntilStable.
+type ConfidenceOpts struct {
+	RelTol       float64 // target stddev/mean after outlier removal (paper: 0.01)
+	OutlierSigma float64 // outlier rejection threshold (paper: 4)
+	MinSamples   int     // never conclude on fewer samples
+	MaxSamples   int     // hard cap to bound runtime
+	Batch        int     // samples collected between convergence checks
+}
+
+// DefaultConfidence mirrors the paper's methodology.
+func DefaultConfidence() ConfidenceOpts {
+	return ConfidenceOpts{RelTol: 0.01, OutlierSigma: 4, MinSamples: 16, MaxSamples: 4096, Batch: 8}
+}
+
+// MeasureUntilStable repeatedly calls sample() until the 4σ-filtered
+// sample set has a relative standard deviation below RelTol, then returns
+// the filtered samples. It always returns at least MinSamples samples and
+// gives up (returning what it has) at MaxSamples.
+func MeasureUntilStable(sample func() float64, o ConfidenceOpts) []float64 {
+	if o.Batch <= 0 {
+		o.Batch = 8
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 16
+	}
+	if o.MaxSamples < o.MinSamples {
+		o.MaxSamples = o.MinSamples
+	}
+	var xs []float64
+	for len(xs) < o.MinSamples {
+		xs = append(xs, sample())
+	}
+	for {
+		kept := RejectOutliers(xs, o.OutlierSigma)
+		if RelStddev(kept) <= o.RelTol || len(xs) >= o.MaxSamples {
+			return kept
+		}
+		for i := 0; i < o.Batch && len(xs) < o.MaxSamples; i++ {
+			xs = append(xs, sample())
+		}
+	}
+}

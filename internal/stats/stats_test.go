@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if Stddev([]float64{5}) != 0 {
+		t.Fatal("stddev of one sample should be 0")
+	}
+	got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almost(got, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {90, 46},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestRejectOutliers(t *testing.T) {
+	xs := []float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 1000}
+	kept := RejectOutliers(xs, 2)
+	if len(kept) != 9 {
+		t.Fatalf("kept %d, want 9", len(kept))
+	}
+	for _, x := range kept {
+		if x != 10 {
+			t.Fatalf("outlier survived: %v", x)
+		}
+	}
+}
+
+func TestRejectOutliersUniformKept(t *testing.T) {
+	xs := []float64{5, 5, 5, 5}
+	kept := RejectOutliers(xs, 4)
+	if len(kept) != 4 {
+		t.Fatalf("uniform data lost samples: %d", len(kept))
+	}
+}
+
+func TestRejectOutliersSmallInput(t *testing.T) {
+	xs := []float64{1, 100}
+	kept := RejectOutliers(xs, 0.1)
+	if len(kept) != 2 {
+		t.Fatal("inputs with <3 samples must be kept whole")
+	}
+}
+
+func TestRejectOutliersIdempotentOnClean(t *testing.T) {
+	xs := []float64{9.9, 10, 10.1, 10, 9.95, 10.05, 10, 10}
+	once := RejectOutliers(xs, 4)
+	twice := RejectOutliers(once, 4)
+	if len(once) != len(twice) {
+		t.Fatalf("second pass removed more: %d -> %d", len(once), len(twice))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrNoSamples {
+		t.Fatal("expected ErrNoSamples")
+	}
+	s, err := Summarize([]float64{4, 1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || !almost(s.Mean, 2.5) || !almost(s.P50, 2.5) {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestRelStddev(t *testing.T) {
+	if RelStddev([]float64{0, 0, 0}) != 0 {
+		t.Fatal("zero-mean relstddev should be 0")
+	}
+	got := RelStddev([]float64{99, 100, 101})
+	if !almost(got, 1.0/100) {
+		t.Fatalf("relstddev = %v", got)
+	}
+}
+
+func TestMeasureUntilStableConverges(t *testing.T) {
+	i := 0
+	// A sequence with two gross outliers, then near-constant: the 4σ filter
+	// must discard the outliers and the loop must converge.
+	sample := func() float64 {
+		i++
+		if i <= 2 {
+			return 1e6
+		}
+		return 50 + float64(i%2) // 50 or 51: rel stddev ~1%
+	}
+	xs := MeasureUntilStable(sample, ConfidenceOpts{RelTol: 0.01, OutlierSigma: 4, MinSamples: 8, MaxSamples: 512, Batch: 8})
+	if len(xs) < 8 {
+		t.Fatalf("returned %d samples, want >= MinSamples", len(xs))
+	}
+	if RelStddev(xs) > 0.011 && len(xs) < 512 {
+		t.Fatalf("did not converge: rel=%v n=%d", RelStddev(xs), len(xs))
+	}
+}
+
+func TestMeasureUntilStableHitsCap(t *testing.T) {
+	i := 0
+	sample := func() float64 { i++; return float64(i % 7) } // never stable
+	xs := MeasureUntilStable(sample, ConfidenceOpts{RelTol: 0.0001, OutlierSigma: 4, MinSamples: 8, MaxSamples: 64, Batch: 8})
+	if i > 64 {
+		t.Fatalf("took %d raw samples, cap is 64", i)
+	}
+	if len(xs) == 0 {
+		t.Fatal("must return samples even at cap")
+	}
+}
+
+func TestMeasureUntilStableDefaults(t *testing.T) {
+	n := 0
+	xs := MeasureUntilStable(func() float64 { n++; return 42 }, ConfidenceOpts{})
+	if len(xs) < 16 {
+		t.Fatalf("defaults must enforce a sane MinSamples, got %d", len(xs))
+	}
+}
+
+// Property: percentile output is monotone in p and bounded by [min, max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		return v1 <= v2+1e-9 && v1 >= Min(xs)-1e-9 && v2 <= Max(xs)+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: outlier rejection never increases the sample count and keeps a
+// subset of the original values.
+func TestRejectOutliersSubsetProperty(t *testing.T) {
+	prop := func(raw []int16) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		kept := RejectOutliers(xs, 4)
+		if len(kept) > len(xs) {
+			return false
+		}
+		// multiset subset check
+		remaining := append([]float64(nil), xs...)
+		sort.Float64s(remaining)
+		sort.Float64s(kept)
+		j := 0
+		for _, k := range kept {
+			for j < len(remaining) && remaining[j] < k {
+				j++
+			}
+			if j >= len(remaining) || remaining[j] != k {
+				return false
+			}
+			j++
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []float64{1, 5, 12, 15, 99} {
+		h.Add(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if !almost(h.Mean(), (1+5+12+15+99)/5.0) {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if got := h.Percentile(100); got != 99 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if h.String() == "(empty histogram)" {
+		t.Fatal("non-empty histogram rendered as empty")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	if h.String() != "(empty histogram)" {
+		t.Fatal("empty histogram should say so")
+	}
+	if h.Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestHistogramBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width 0")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestHistogramSamplesCopy(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(3)
+	s := h.Samples()
+	s[0] = 99
+	if h.Percentile(50) != 3 {
+		t.Fatal("Samples must return a copy")
+	}
+}

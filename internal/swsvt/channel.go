@@ -1,0 +1,252 @@
+package swsvt
+
+import (
+	"fmt"
+
+	"svtsim/internal/cost"
+	"svtsim/internal/cpu"
+	"svtsim/internal/hv"
+	"svtsim/internal/isa"
+	"svtsim/internal/sim"
+	"svtsim/internal/vmcs"
+)
+
+// Channel is the SW SVt reflection path (Figure 5): it implements
+// hv.SWChannel for the L0 hypervisor. When a nested exit belongs to L1,
+// L0₀ pushes CMD_VM_TRAP (with the register payload) onto the ring, the
+// SVt-thread on the sibling SMT context wakes, handles the trap using the
+// pre-existing L1 handler code, answers CMD_VM_RESUME, and L0₀ — which
+// was itself mwaiting on the response ring — resumes L2 directly.
+type Channel struct {
+	L0    *hv.Hypervisor
+	Core  *cpu.Core
+	Costs *cost.Model
+
+	// VcpuSVt is L0's vCPU record for L1's SVt-thread (vCPU 1 of the L1
+	// VM, pinned to the sibling hardware context).
+	VcpuSVt *hv.VCPU
+	// VcpuL1Main is L0's vCPU record for L1's main vCPU (needed by the
+	// §5.3 deadlock-avoidance protocol).
+	VcpuL1Main *hv.VCPU
+	// Ns is the nested state of the L2 VM the channel serves.
+	Ns *hv.NestedState
+
+	ToSVt   *Ring // L0₀ → SVt-thread (CMD_VM_TRAP)
+	FromSVt *Ring // SVt-thread → L0₀ (CMD_VM_RESUME)
+
+	Policy    Policy
+	Placement Placement
+
+	// BlockedProtocol enables the §5.3 SVT_BLOCKED interrupt-deadlock
+	// avoidance: while waiting for CMD_VM_RESUME, L0₀ checks for
+	// interrupts destined to the (blocked) L1 main vCPU and lets it run
+	// its handler.
+	BlockedProtocol bool
+
+	// Stats.
+	Reflections   uint64
+	BlockedEvents uint64
+	lastReturn    sim.Time
+	stopped       bool
+}
+
+var _ hv.SWChannel = (*Channel)(nil)
+
+// Stopped reports whether the SVt-thread ended the session.
+func (ch *Channel) Stopped() bool { return ch.stopped }
+
+func (ch *Channel) now() sim.Time { return ch.L0.P.Now() }
+
+// ReflectAndWait implements hv.SWChannel: steps 2 and 3 of Figure 5.
+func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) {
+	ch.Reflections++
+	m := ch.Costs
+
+	// Under a polling policy at SMT placement, L0₀'s spinning since the
+	// last command stole cycles from the sibling; account it now.
+	if ch.lastReturn > 0 {
+		ch.L0.P.Charge(PollStolenCycles(m, ch.Policy, ch.Placement, ch.now()-ch.lastReturn))
+	}
+
+	// Push CMD_VM_TRAP with the register payload.
+	ch.L0.P.Charge(m.RingCmd + sim.Time(int(isa.NumGPR))*m.RingPayloadReg)
+	if err := ch.ToSVt.Push(Cmd{Type: CmdVMTrap, Exit: uint64(e.Reason)}); err != nil {
+		panic(fmt.Sprintf("swsvt: %v", err))
+	}
+	// The SVt-thread wakes per its wait policy; it has been waiting since
+	// it finished the previous command (which decides whether a mutex is
+	// still inside its spin grace).
+	threadIdle := ch.now() - ch.lastReturn
+	if ch.lastReturn == 0 {
+		threadIdle = 0
+	}
+	ch.L0.P.Charge(WakeLatency(m, ch.Policy, ch.Placement, threadIdle))
+
+	sent := ch.now()
+	ch.runSVtThread()
+	// While the SVt-thread handled the trap, a polling L0 stole cycles
+	// from it (the other half of §6.1's SMT polling penalty).
+	ch.L0.P.Charge(PollStolenCycles(m, ch.Policy, ch.Placement, ch.now()-sent))
+
+	// §5.3: interrupts for the blocked L1 main vCPU must not wait for the
+	// SVt-thread's answer.
+	if ch.BlockedProtocol {
+		ch.serviceBlockedL1()
+	}
+
+	cmd, ok := ch.FromSVt.Pop()
+	if !ok {
+		if ch.stopped {
+			panic("swsvt: reflection after the SVt-thread stopped")
+		}
+		panic("swsvt: SVt-thread went idle without answering CMD_VM_RESUME")
+	}
+	if cmd.Type == CmdShutdown {
+		ch.stopped = true
+		return
+	}
+	if cmd.Type != CmdVMResume {
+		panic(fmt.Sprintf("swsvt: unexpected response %v", cmd.Type))
+	}
+	// L0₀ was waiting on the response ring with the same policy.
+	ch.L0.P.Charge(WakeLatency(m, ch.Policy, ch.Placement, ch.now()-sent))
+	ch.lastReturn = ch.now()
+}
+
+// runSVtThread drives the SVt-thread's context until it parks in its
+// mwait loop again, handling the genuine VM exits its handler work
+// produces on the sibling context (L1₁ trapping into L0₁).
+// serviceHostIRQs is L0₀'s host kernel taking external interrupts on the
+// boot context while it waits on the response ring (it is mwaiting, not
+// gone): acknowledge and run the kernel dispatch so wake vectors reach
+// the SVt-thread's virtual LAPIC.
+func (ch *Channel) serviceHostIRQs() {
+	l := ch.Core.LAPIC(0)
+	for l != nil && l.HasPending() {
+		vec, _ := l.PendingVector()
+		l.Ack(vec)
+		ch.L0.P.Charge(ch.Costs.IRQAck)
+		ch.L0.HandleKernelIRQ(vec)
+	}
+}
+
+func (ch *Channel) runSVtThread() {
+	for {
+		ch.serviceHostIRQs()
+		ch.L0.PrepareResume(ch.VcpuSVt)
+		e := ch.L0.P.Run(ch.VcpuSVt)
+		if e.Reason == isa.ExitVMCall {
+			switch e.Qualification {
+			case cpu.QualSVtIdle:
+				return
+			case cpu.QualGuestDone:
+				ch.stopped = true
+				return
+			}
+		}
+		if stop := ch.L0.Handle(ch.VcpuSVt, e); stop {
+			panic(fmt.Sprintf("swsvt: SVt-thread session stopped on %v (deadlock=%v) at %v", e, ch.L0.DeadlockDetected, ch.L0.P.Now()))
+		}
+	}
+}
+
+// PendingForL1 reports whether the SVt-thread has virtual interrupts
+// waiting; the L0 nested loop uses it to decide that an external
+// interrupt needs a reflection even though L1's main vCPU shows nothing.
+func (ch *Channel) PendingForL1() bool {
+	return ch.VcpuSVt.VirtLAPIC != nil && ch.VcpuSVt.VirtLAPIC.HasPending()
+}
+
+// serviceBlockedL1 implements §5.3: when an interrupt arrives for the L1
+// main vCPU while the SVt-thread holds the L2 trap, L0₀ injects a
+// synthetic SVT_BLOCKED trap into L1₀; L1₀ runs its interrupt handler and
+// immediately yields back with a VM resume, which L0₀ absorbs (it is
+// still mid-reflection). Without this, an IPI sent by an L1 kernel thread
+// to the blocked vCPU deadlocks the whole stack.
+func (ch *Channel) serviceBlockedL1() {
+	vc := ch.VcpuL1Main
+	if vc == nil || vc.VirtLAPIC == nil || !vc.VirtLAPIC.HasPending() {
+		return
+	}
+	ch.BlockedEvents++
+	// Present the blocked trap through the shadow VMCS.
+	ch.Ns.Vmcs12.RecordExit(&isa.Exit{Reason: isa.ExitSVTBlocked})
+	ch.L0.P.Charge(ch.Costs.InjectExit)
+	for vc.VirtLAPIC.HasPending() {
+		ch.L0.PrepareResume(vc)
+		e := ch.L0.P.Run(vc)
+		switch e.Reason {
+		case isa.ExitVMResume, isa.ExitVMLaunch:
+			// L1₀ yielded control back (step 5 of §5.3); we are still
+			// waiting for the SVt-thread, so absorb the resume.
+			if !vc.VirtLAPIC.HasPending() {
+				return
+			}
+			ch.Ns.Vmcs12.RecordExit(&isa.Exit{Reason: isa.ExitSVTBlocked})
+		case isa.ExitVMCall:
+			if e.Qualification == cpu.QualGuestDone {
+				ch.stopped = true
+				return
+			}
+			ch.L0.Handle(vc, e)
+		default:
+			ch.L0.Handle(vc, e)
+		}
+	}
+}
+
+// SVtThread is the guest-hypervisor side of the prototype: a kernel
+// thread inside L1, pinned to its own vCPU, that serves the VM traps of
+// the L2 vCPU it is paired with (§5.2).
+type SVtThread struct {
+	Ch   *Channel
+	H1   *hv.Hypervisor // the L1 hypervisor instance bound to this thread's port
+	Plat *hv.VirtualPlatform
+	VC12 *hv.VCPU // L1's vCPU record for L2
+
+	Handled uint64
+}
+
+// Body is the native-guest body of the SVt-thread. It pairs itself with
+// the main vCPU via a hypercall, then loops serving commands: mwait for
+// CMD_VM_TRAP, handle the trap with the stock L1 exit handlers, answer
+// CMD_VM_RESUME.
+func (t *SVtThread) Body(p *cpu.Port) {
+	p.Exec(isa.Instr{Op: isa.OpVMCall, Val: cpu.QualPairThreads})
+	// The SVt-thread addresses the guest VMCS too (idempotent VMPTRLD so
+	// exit-info reads resolve through the shadow).
+	p.Exec(isa.Instr{Op: isa.OpVMPtrLd, Addr: t.VC12.VMCSAddr})
+	for {
+		cmd := t.waitPop(p)
+		if cmd.Type == CmdShutdown {
+			return
+		}
+		if cmd.Type != CmdVMTrap {
+			panic(fmt.Sprintf("swsvt thread: unexpected command %v", cmd.Type))
+		}
+		e := t.Plat.ReadExitInfo()
+		t.H1.Handle(t.VC12, e)
+		t.H1.PrepareResume(t.VC12)
+		t.Handled++
+		p.Charge(t.Ch.Costs.RingCmd + sim.Time(int(isa.NumGPR))*t.Ch.Costs.RingPayloadReg)
+		if err := t.Ch.FromSVt.Push(Cmd{Type: CmdVMResume}); err != nil {
+			panic(fmt.Sprintf("swsvt thread: %v", err))
+		}
+	}
+}
+
+// waitPop is the §5.2 wait loop: monitor the command ring, mwait until it
+// changes, run any virtual interrupt handlers that arrived meanwhile.
+func (t *SVtThread) waitPop(p *cpu.Port) Cmd {
+	for {
+		p.PollIRQs()
+		if cmd, ok := t.Ch.ToSVt.Pop(); ok {
+			return cmd
+		}
+		p.Exec(isa.Instr{Op: isa.OpMonitor})
+		p.Park(cpu.QualSVtIdle)
+	}
+}
+
+// ReadExitValue is a helper for tests.
+func ReadExitValue(v *vmcs.VMCS) uint64 { return v.Read(vmcs.ExitValueAux) }

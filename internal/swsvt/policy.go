@@ -1,0 +1,105 @@
+package swsvt
+
+import (
+	"fmt"
+
+	"svtsim/internal/cost"
+	"svtsim/internal/sim"
+)
+
+// Policy is the mechanism a waiting thread uses to learn about new
+// commands (§6.1).
+type Policy int
+
+// Wait policies.
+const (
+	PolicyMwait Policy = iota // monitor + mwait at C1 (the prototype's choice)
+	PolicyPoll                // spin on the cache line
+	PolicyMutex               // futex-style blocking with a short spin grace
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyMwait:
+		return "mwait"
+	case PolicyPoll:
+		return "poll"
+	case PolicyMutex:
+		return "mutex"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Placement is where the communicating threads sit relative to each
+// other (§6.1's three configurations).
+type Placement int
+
+// Placements.
+const (
+	PlaceSMT       Placement = iota // same core, sibling hardware threads
+	PlaceCrossCore                  // same NUMA node, different cores
+	PlaceCrossNUMA                  // different NUMA nodes
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceSMT:
+		return "smt"
+	case PlaceCrossCore:
+		return "cross-core"
+	case PlaceCrossNUMA:
+		return "cross-numa"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+func placementFactor(m *cost.Model, p Placement) float64 {
+	switch p {
+	case PlaceCrossCore:
+		return m.CrossCoreFactor
+	case PlaceCrossNUMA:
+		return m.CrossNUMAFactor
+	default:
+		return 1
+	}
+}
+
+// WakeLatency models the time from a command being pushed to the waiter
+// reacting to it, given the waiter's policy, the thread placement, and
+// how long the waiter had been waiting (the mutex spins briefly before
+// sleeping in the kernel, so short waits wake cheaply).
+func WakeLatency(m *cost.Model, pol Policy, place Placement, waited sim.Time) sim.Time {
+	f := placementFactor(m, place)
+	switch pol {
+	case PolicyPoll:
+		return scale(m.PollWake, f)
+	case PolicyMutex:
+		if waited <= m.MutexSpinGrace {
+			return scale(m.PollWake, f)
+		}
+		return scale(m.MutexWake, f)
+	default: // mwait
+		return scale(m.MwaitWake, f)
+	}
+}
+
+// PollStolenCycles models the SMT cost of a polling waiter: while the
+// sibling thread computes for busy time, the poller consumes a fraction
+// of the core's execution resources, stretching the sibling's work
+// (§6.1: "overheads increase with the workload in SMT because the waiting
+// thread consumes execution cycles from the computing thread"). Only the
+// SMT placement suffers this.
+func PollStolenCycles(m *cost.Model, pol Policy, place Placement, busy sim.Time) sim.Time {
+	if pol != PolicyPoll || place != PlaceSMT || busy <= 0 {
+		return 0
+	}
+	frac := m.PollOverheadFrac
+	if frac <= 0 || frac >= 1 {
+		return 0
+	}
+	return sim.Time(float64(busy) * frac / (1 - frac))
+}
+
+func scale(t sim.Time, f float64) sim.Time { return sim.Time(float64(t) * f) }

@@ -1,0 +1,168 @@
+package virtio
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Block request types (virtio-blk header).
+const (
+	BlkTIn  uint32 = 0 // read
+	BlkTOut uint32 = 1 // write
+)
+
+// Block status bytes.
+const (
+	BlkSOK    byte = 0
+	BlkSIOErr byte = 1
+)
+
+// BlkHeaderSize is the request header size in guest memory.
+const BlkHeaderSize = 16
+
+// BlkTransport is where block requests land: the ramdisk model for the
+// host backend, or the guest hypervisor's own virtio-blk driver for the
+// nested (vhost) backend.
+type BlkTransport interface {
+	Submit(write bool, sector uint64, data []byte, done func(ok bool, read []byte))
+}
+
+type blkPending struct {
+	head    uint16
+	dataGPA uint64
+	dataLen uint32
+	stsGPA  uint64
+	write   bool
+	ok      bool
+	read    []byte
+}
+
+// BlkBackend is the device side of a virtio-blk device (queue 0 carries
+// requests).
+type BlkBackend struct {
+	DeviceCommon
+
+	Transport     BlkTransport
+	RaiseGuestIRQ func()
+	NotifyHost    func()
+
+	completed []*blkPending
+
+	Reads  uint64
+	Writes uint64
+	Errors uint64
+}
+
+// NewBlkBackend builds a block backend over the device window at base.
+func NewBlkBackend(name string, base uint64, mem MemIO, tr BlkTransport) *BlkBackend {
+	b := &BlkBackend{
+		DeviceCommon: DeviceCommon{DevName: name, Base: base, Mem: mem},
+		Transport:    tr,
+	}
+	b.OnKick = b.kick
+	return b
+}
+
+// kick drains the request queue and submits each request.
+func (b *BlkBackend) kick(qi int) {
+	q := b.Queue(0)
+	if q == nil {
+		return
+	}
+	for {
+		head, bufs, ok, err := q.PopAvail()
+		if err != nil {
+			panic(fmt.Sprintf("virtio-blk %s: %v", b.DevName, err))
+		}
+		if !ok {
+			return
+		}
+		if len(bufs) < 3 {
+			panic(fmt.Sprintf("virtio-blk %s: malformed chain (%d bufs)", b.DevName, len(bufs)))
+		}
+		hdr := make([]byte, BlkHeaderSize)
+		if err := b.Mem.Read(bufs[0].GPA, hdr); err != nil {
+			panic(fmt.Sprintf("virtio-blk %s: header: %v", b.DevName, err))
+		}
+		typ := binary.LittleEndian.Uint32(hdr[0:4])
+		sector := binary.LittleEndian.Uint64(hdr[8:16])
+		data := bufs[1]
+		status := bufs[len(bufs)-1]
+
+		p := &blkPending{
+			head:    head,
+			dataGPA: data.GPA,
+			dataLen: data.Len,
+			stsGPA:  status.GPA,
+			write:   typ == BlkTOut,
+		}
+		payload := make([]byte, data.Len)
+		if p.write {
+			b.Writes++
+			if err := b.Mem.Read(data.GPA, payload); err != nil {
+				panic(fmt.Sprintf("virtio-blk %s: data read: %v", b.DevName, err))
+			}
+		} else {
+			b.Reads++
+		}
+		b.Transport.Submit(p.write, sector, payload, func(ok bool, read []byte) {
+			p.ok = ok
+			p.read = read
+			b.completed = append(b.completed, p)
+			if b.NotifyHost != nil {
+				b.NotifyHost()
+			}
+		})
+	}
+}
+
+// OnIRQ implements hv.Device: retire completed requests in kernel
+// context — copy read data, write status, push used, interrupt the guest.
+func (b *BlkBackend) OnIRQ() {
+	q := b.Queue(0)
+	if q == nil {
+		return
+	}
+	raised := false
+	for _, p := range b.completed {
+		total := uint32(1)
+		if !p.write && p.ok {
+			n := p.read
+			if uint32(len(n)) > p.dataLen {
+				n = n[:p.dataLen]
+			}
+			if err := b.Mem.Write(p.dataGPA, n); err != nil {
+				panic(fmt.Sprintf("virtio-blk %s: data write: %v", b.DevName, err))
+			}
+			total += uint32(len(n))
+		}
+		sts := []byte{BlkSOK}
+		if !p.ok {
+			sts[0] = BlkSIOErr
+			b.Errors++
+		}
+		if err := b.Mem.Write(p.stsGPA, sts); err != nil {
+			panic(fmt.Sprintf("virtio-blk %s: status: %v", b.DevName, err))
+		}
+		if err := q.PushUsed(p.head, total); err != nil {
+			panic(fmt.Sprintf("virtio-blk %s: %v", b.DevName, err))
+		}
+		raised = true
+	}
+	b.completed = b.completed[:0]
+	if raised && b.RaiseGuestIRQ != nil {
+		b.RaiseGuestIRQ()
+	}
+}
+
+// EncodeBlkHeader writes a request header (driver-side helper).
+func EncodeBlkHeader(write bool, sector uint64) []byte {
+	hdr := make([]byte, BlkHeaderSize)
+	typ := BlkTIn
+	if write {
+		typ = BlkTOut
+	}
+	binary.LittleEndian.PutUint32(hdr[0:4], typ)
+	binary.LittleEndian.PutUint64(hdr[8:16], sector)
+	return hdr
+}

@@ -1,0 +1,98 @@
+package virtio
+
+import "fmt"
+
+// MMIO register layout of the device window (virtio-mmio flavoured).
+// Drivers program queue addresses through these registers at boot; each
+// write is a trapped access, so a nested guest's device probe generates
+// the realistic storm of reflected exits.
+const (
+	RegQueueNotify uint64 = 0x00 // write: queue index to kick
+	RegQueueSel    uint64 = 0x10 // select queue for the registers below
+	RegQueueSize   uint64 = 0x18
+	RegQueueDesc   uint64 = 0x20
+	RegQueueAvail  uint64 = 0x28
+	RegQueueUsed   uint64 = 0x30
+	RegQueueReady  uint64 = 0x38 // write 1: queue becomes live
+	RegIntrAck     uint64 = 0x40 // driver acknowledges the device interrupt
+)
+
+// MaxQueues per device.
+const MaxQueues = 4
+
+// DeviceCommon implements the shared MMIO transport of a virtio device
+// backend: queue configuration registers and kick dispatch.
+type DeviceCommon struct {
+	DevName string
+	Base    uint64
+	Mem     MemIO
+
+	sel     int
+	staging [MaxQueues]Layout
+	queues  [MaxQueues]*Queue
+
+	// OnKick is invoked with the queue index for notify writes.
+	OnKick func(q int)
+
+	Kicks uint64
+}
+
+// Name implements hv.Device.
+func (c *DeviceCommon) Name() string { return c.DevName }
+
+// Queue returns the live device-side queue at index i (nil before ready).
+func (c *DeviceCommon) Queue(i int) *Queue {
+	if i < 0 || i >= MaxQueues {
+		return nil
+	}
+	return c.queues[i]
+}
+
+// MMIOWrite implements hv.Device.
+func (c *DeviceCommon) MMIOWrite(gpa, val uint64) {
+	off := gpa - c.Base
+	switch off {
+	case RegQueueNotify:
+		c.Kicks++
+		if c.OnKick != nil {
+			c.OnKick(int(val))
+		}
+	case RegQueueSel:
+		if int(val) < MaxQueues {
+			c.sel = int(val)
+		}
+	case RegQueueSize:
+		c.staging[c.sel].Size = uint16(val)
+	case RegQueueDesc:
+		c.staging[c.sel].Desc = val
+	case RegQueueAvail:
+		c.staging[c.sel].Avail = val
+	case RegQueueUsed:
+		c.staging[c.sel].Used = val
+	case RegQueueReady:
+		if val == 1 {
+			q, err := NewQueue(c.staging[c.sel], c.Mem, false)
+			if err != nil {
+				panic(fmt.Sprintf("virtio %s: queue %d: %v", c.DevName, c.sel, err))
+			}
+			c.queues[c.sel] = q
+		} else {
+			c.queues[c.sel] = nil
+		}
+	case RegIntrAck:
+		// Interrupt acknowledged; nothing to do in the model.
+	default:
+		// Unknown registers are ignored, as devices do.
+	}
+}
+
+// ConfigureQueue is the driver-side probe sequence: program one queue's
+// geometry and enable it. exec performs one trapped MMIO write.
+func ConfigureQueue(exec func(addr, val uint64), base uint64, idx int, l Layout) {
+	exec(base+RegQueueSel, uint64(idx))
+	exec(base+RegQueueSize, uint64(l.Size))
+	exec(base+RegQueueDesc, l.Desc)
+	exec(base+RegQueueAvail, l.Avail)
+	exec(base+RegQueueUsed, l.Used)
+	exec(base+RegQueueReady, 1)
+}

@@ -1,0 +1,182 @@
+package virtio
+
+import "fmt"
+
+// Queue indices of a net device.
+const (
+	NetQTX = 0
+	NetQRX = 1
+)
+
+// Transport is where a net backend's packets go: the physical NIC model
+// for the host hypervisor's backend, or — for the guest hypervisor's
+// vhost backend — the guest hypervisor's *own* virtio-net driver, which
+// is exactly how the nested I/O amplification of §6.2 arises.
+type Transport interface {
+	// Send transmits pkt; done runs when the buffer may be reclaimed.
+	Send(pkt []byte, done func())
+	// SetReceiver registers the inbound packet callback.
+	SetReceiver(fn func(pkt []byte))
+}
+
+// NetBackend is the device side of a virtio-net device: a TX and an RX
+// queue living in the guest's memory, configured by the driver through
+// the trapped MMIO registers.
+type NetBackend struct {
+	DeviceCommon
+
+	Transport Transport
+	// RaiseGuestIRQ injects the device's completion vector into the
+	// owning guest (runs in the owning kernel's context).
+	RaiseGuestIRQ func()
+	// NotifyHost schedules completion processing (OnIRQ) in the owning
+	// kernel by raising its host-side vector; safe from event context.
+	NotifyHost func()
+
+	txDone    []uint16
+	rxArrived [][]byte
+
+	// TxCoalesce batches TX-completion interrupts, as real NICs do: the
+	// host is notified once this many completions are pending (any other
+	// interrupt also flushes them). Zero means immediate.
+	TxCoalesce int
+
+	TxPackets uint64
+	RxPackets uint64
+	RxTrunc   uint64
+}
+
+// NewNetBackend wires a backend over the device window at base.
+func NewNetBackend(name string, base uint64, mem MemIO, tr Transport) *NetBackend {
+	b := &NetBackend{
+		DeviceCommon: DeviceCommon{DevName: name, Base: base, Mem: mem},
+		Transport:    tr,
+	}
+	b.OnKick = b.kick
+	if tr != nil {
+		tr.SetReceiver(b.receive)
+	}
+	return b
+}
+
+func (b *NetBackend) coalesce() int {
+	if b.TxCoalesce < 1 {
+		return 1
+	}
+	return b.TxCoalesce
+}
+
+// kick drains the TX queue; RX kicks only publish fresh buffers.
+func (b *NetBackend) kick(q int) {
+	if q != NetQTX {
+		return
+	}
+	b.drainTX()
+}
+
+// drainTX transmits every available chain.
+func (b *NetBackend) drainTX() {
+	tx := b.Queue(NetQTX)
+	if tx == nil {
+		return
+	}
+	for {
+		head, bufs, ok, err := tx.PopAvail()
+		if err != nil {
+			panic(fmt.Sprintf("virtio-net %s: %v", b.DevName, err))
+		}
+		if !ok {
+			return
+		}
+		pkt := make([]byte, 0, 64)
+		for _, buf := range bufs {
+			if buf.DeviceWrite {
+				continue
+			}
+			seg := make([]byte, buf.Len)
+			if err := b.Mem.Read(buf.GPA, seg); err != nil {
+				panic(fmt.Sprintf("virtio-net %s: tx read: %v", b.DevName, err))
+			}
+			pkt = append(pkt, seg...)
+		}
+		b.TxPackets++
+		h := head
+		b.Transport.Send(pkt, func() {
+			b.txDone = append(b.txDone, h)
+			if b.NotifyHost != nil && len(b.txDone) >= b.coalesce() {
+				b.NotifyHost()
+			}
+		})
+	}
+}
+
+// receive is the transport's inbound callback (event context): queue the
+// packet and ask for kernel-context processing.
+func (b *NetBackend) receive(pkt []byte) {
+	b.rxArrived = append(b.rxArrived, pkt)
+	if b.NotifyHost != nil {
+		b.NotifyHost()
+	}
+}
+
+// OnIRQ implements hv.Device: completion processing in the owning
+// kernel's context — retire TX buffers, fill RX buffers, and interrupt
+// the guest.
+func (b *NetBackend) OnIRQ() {
+	raised := false
+	tx, rx := b.Queue(NetQTX), b.Queue(NetQRX)
+	if tx != nil {
+		for _, head := range b.txDone {
+			if err := tx.PushUsed(head, 0); err != nil {
+				panic(fmt.Sprintf("virtio-net %s: %v", b.DevName, err))
+			}
+			raised = true
+		}
+		b.txDone = b.txDone[:0]
+	}
+	if rx != nil {
+		remaining := b.rxArrived[:0]
+		for i, pkt := range b.rxArrived {
+			head, bufs, ok, err := rx.PopAvail()
+			if err != nil {
+				panic(fmt.Sprintf("virtio-net %s: %v", b.DevName, err))
+			}
+			if !ok {
+				// No posted RX buffers: hold the rest (NIC ring model).
+				remaining = append(remaining, b.rxArrived[i:]...)
+				break
+			}
+			written := uint32(0)
+			left := pkt
+			for _, buf := range bufs {
+				if !buf.DeviceWrite || len(left) == 0 {
+					continue
+				}
+				n := int(buf.Len)
+				if n > len(left) {
+					n = len(left)
+				}
+				if err := b.Mem.Write(buf.GPA, left[:n]); err != nil {
+					panic(fmt.Sprintf("virtio-net %s: rx write: %v", b.DevName, err))
+				}
+				written += uint32(n)
+				left = left[n:]
+			}
+			if len(left) > 0 {
+				b.RxTrunc++
+			}
+			if err := rx.PushUsed(head, written); err != nil {
+				panic(fmt.Sprintf("virtio-net %s: %v", b.DevName, err))
+			}
+			b.RxPackets++
+			raised = true
+		}
+		b.rxArrived = append([][]byte(nil), remaining...)
+	}
+	// vhost-style: an active device also picks up freshly posted TX chains
+	// during its completion pass, so suppressed kicks still make progress.
+	b.drainTX()
+	if raised && b.RaiseGuestIRQ != nil {
+		b.RaiseGuestIRQ()
+	}
+}

@@ -1,0 +1,213 @@
+// Package svtsim is a full-system reproduction of "Using SMT to
+// Accelerate Nested Virtualization" (Vilanova, Amit, Etsion — ISCA 2019):
+// a deterministic simulator of nested virtualization on an SMT core, the
+// paper's SVt hardware/software co-design, its software-only prototype,
+// and the complete evaluation harness that regenerates every table and
+// figure of the paper.
+//
+// The public API exposes three layers:
+//
+//   - Machine construction (NewNestedMachine, DefaultConfig): assemble an
+//     L0/L1/L2 stack in baseline, SW SVt or HW SVt configuration and run
+//     your own guest workloads on it.
+//   - Workloads (the Workload* constructors): the paper's benchmark
+//     programs — cpuid, netperf, ioping/fio, memcached+ETC, TPC-C, video.
+//   - Experiments (CPUID*, NetLatency, Memcached, ...): one call per
+//     table/figure of the paper, returning structured results.
+//
+// See examples/ for runnable entry points and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package svtsim
+
+import (
+	"io"
+
+	"svtsim/internal/cost"
+	"svtsim/internal/exp"
+	"svtsim/internal/guest"
+	"svtsim/internal/hv"
+	"svtsim/internal/machine"
+	"svtsim/internal/report"
+	"svtsim/internal/sim"
+	"svtsim/internal/swsvt"
+)
+
+// Mode selects the system variant under test.
+type Mode = hv.Mode
+
+// System variants.
+const (
+	Baseline = hv.ModeBaseline // stock nested virtualization (Algorithm 1)
+	SWSVt    = hv.ModeSWSVt    // the software-only prototype (§5.2)
+	HWSVt    = hv.ModeHWSVt    // the proposed hardware (§3–§4)
+	// HWSVtBypass adds the paper's §3.1 future-work extension: exits owned
+	// by the guest hypervisor are delivered straight to its context.
+	HWSVtBypass = hv.ModeHWSVtBypass
+)
+
+// Modes lists the variants in the paper's presentation order.
+var Modes = []Mode{Baseline, SWSVt, HWSVt}
+
+// Time is virtual time in nanoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Config parameterizes a machine (cost model, SW SVt wait policy, ...).
+type Config = machine.Config
+
+// CostModel is the calibrated timing model (see internal/cost).
+type CostModel = cost.Model
+
+// DefaultConfig returns the calibrated configuration for a mode.
+func DefaultConfig(mode Mode) Config { return machine.DefaultConfig(mode) }
+
+// BaselineCosts returns the cost model calibrated to the paper's Table 1.
+func BaselineCosts() CostModel { return cost.Baseline() }
+
+// Machine is an assembled simulation of the full L0/L1/L2 stack.
+type Machine = machine.Machine
+
+// IOStack is the machine's network/disk plumbing.
+type IOStack = machine.IOStack
+
+// GuestEnv is the environment a guest workload body runs in.
+type GuestEnv = guest.Env
+
+// WaitPolicy is a SW SVt channel wait mechanism (§6.1).
+type WaitPolicy = swsvt.Policy
+
+// Placement is a SW SVt thread placement (§6.1).
+type Placement = swsvt.Placement
+
+// Wait policies and placements.
+const (
+	PolicyMwait = swsvt.PolicyMwait
+	PolicyPoll  = swsvt.PolicyPoll
+	PolicyMutex = swsvt.PolicyMutex
+
+	PlaceSMT       = swsvt.PlaceSMT
+	PlaceCrossCore = swsvt.PlaceCrossCore
+	PlaceCrossNUMA = swsvt.PlaceCrossNUMA
+)
+
+// NewNestedMachine assembles the full three-level stack.
+func NewNestedMachine(cfg Config) *Machine { return machine.NewNested(cfg) }
+
+// WireIO installs the network and disk substrate into cfg before machine
+// construction; the returned stack is populated as the guests boot.
+func WireIO(cfg *Config) *IOStack {
+	return machine.WireNestedIO(cfg, machine.DefaultIOParams())
+}
+
+// --- Experiment layer: one call per paper table/figure -----------------
+
+// CPUIDResult is one Figure 6 bar (with the Table 1 breakdown attached
+// for nested runs).
+type CPUIDResult = exp.CPUIDResult
+
+// CPUIDNative measures native cpuid (Figure 6 "L0").
+func CPUIDNative(n int) CPUIDResult { return exp.CPUIDNative(n) }
+
+// CPUIDSingleLevel measures single-level guest cpuid (Figure 6 "L1").
+func CPUIDSingleLevel(n int) CPUIDResult { return exp.CPUIDSingleLevel(n) }
+
+// CPUIDNested measures nested cpuid under the given mode (Figure 6
+// "L2" / "SW SVt" / "HW SVt"; Table 1 for Baseline).
+func CPUIDNested(mode Mode, n int) CPUIDResult { return exp.CPUIDNested(mode, n) }
+
+// CPUIDNestedNoShadowing is the shadowing ablation: the baseline nested
+// cpuid with hardware VMCS shadowing disabled, so every guest-hypervisor
+// field access traps (§2.1).
+func CPUIDNestedNoShadowing(n int) CPUIDResult { return exp.CPUIDNestedNoShadowing(n) }
+
+// CPUIDNestedWithThunkRegs sweeps the context-switch thunk's register
+// count ("dozens of registers", §1).
+func CPUIDNestedWithThunkRegs(mode Mode, regs, n int) CPUIDResult {
+	return exp.CPUIDNestedWithThunkRegs(mode, regs, n)
+}
+
+// IOResult is one Figure 7 measurement.
+type IOResult = exp.IOResult
+
+// NetLatency runs netperf TCP_RR (Figure 7).
+func NetLatency(mode Mode, n int) IOResult { return exp.NetLatency(mode, n) }
+
+// NetBandwidth runs netperf TCP_STREAM (Figure 7).
+func NetBandwidth(mode Mode, d Time) IOResult { return exp.NetBandwidth(mode, d) }
+
+// DiskLatency runs ioping (Figure 7).
+func DiskLatency(mode Mode, write bool, n int) IOResult { return exp.DiskLatency(mode, write, n) }
+
+// DiskBandwidth runs fio (Figure 7).
+func DiskBandwidth(mode Mode, write bool, n int) IOResult { return exp.DiskBandwidth(mode, write, n) }
+
+// MemcachedResult is one Figure 8 sweep point.
+type MemcachedResult = exp.MemcachedResult
+
+// Memcached runs the §6.3.1 open-loop ETC experiment.
+func Memcached(mode Mode, rate float64, d Time) MemcachedResult { return exp.Memcached(mode, rate, d) }
+
+// TPCC runs the §6.3.2 experiment, returning ktpm (Figure 9).
+func TPCC(mode Mode, d Time) float64 { return exp.TPCC(mode, d) }
+
+// VideoResult is one Figure 10 bar.
+type VideoResult = exp.VideoResult
+
+// Video runs the §6.3.3 playback experiment (full five minutes).
+func Video(mode Mode, fps int) VideoResult { return exp.Video(mode, fps) }
+
+// VideoN runs the playback experiment over a chosen number of frames.
+func VideoN(mode Mode, fps, frames int) VideoResult { return exp.VideoN(mode, fps, frames) }
+
+// TraceEntry is one recorded VM exit (observability).
+type TraceEntry = hv.TraceEntry
+
+// TraceNestedCPUID runs a nested cpuid workload with exit tracing and
+// returns the most recent ring entries.
+func TraceNestedCPUID(mode Mode, n, ring int) []TraceEntry {
+	return exp.TraceNestedCPUID(mode, n, ring)
+}
+
+// ChannelPoint is one §6.1 channel-study cell.
+type ChannelPoint = exp.ChannelPoint
+
+// ChannelStudy sweeps the SW SVt wait policies and placements (§6.1).
+func ChannelStudy(n int, workloads []Time) []ChannelPoint { return exp.ChannelStudy(n, workloads) }
+
+// --- Report layer: paper-formatted output ------------------------------
+
+// ReportTable1 prints the Table 1 breakdown next to the paper's numbers.
+func ReportTable1(w io.Writer, n int) { report.Table1(w, n) }
+
+// ReportTable3 prints the code-change inventory (Table 3 analogue).
+func ReportTable3(w io.Writer, root string) { report.Table3(w, root) }
+
+// ReportTable4 prints the modelled machine parameters (Table 4).
+func ReportTable4(w io.Writer) { report.Table4(w) }
+
+// ReportFigure6 prints the cpuid latency comparison.
+func ReportFigure6(w io.Writer, n int) { report.Figure6(w, n) }
+
+// ReportFigure7 prints the I/O subsystem comparison.
+func ReportFigure7(w io.Writer, quick bool) { report.Figure7(w, quick) }
+
+// ReportFigure8 prints the memcached load sweep.
+func ReportFigure8(w io.Writer, quick bool) { report.Figure8(w, quick) }
+
+// ReportFigure9 prints the TPC-C comparison.
+func ReportFigure9(w io.Writer, quick bool) { report.Figure9(w, quick) }
+
+// ReportFigure10 prints the video playback comparison.
+func ReportFigure10(w io.Writer, quick bool) { report.Figure10(w, quick) }
+
+// ReportChannels prints the §6.1 channel study.
+func ReportChannels(w io.Writer, quick bool) { report.Channels(w, quick) }
+
+// ReportProfiles prints the §6.2/§6.3 exit-reason profiles.
+func ReportProfiles(w io.Writer) { report.Profiles(w) }
