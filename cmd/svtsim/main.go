@@ -15,10 +15,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"svtsim"
 )
+
+// buildFaultSpec combines the -faults spec syntax with the -fault-rate
+// shorthand (lost SW-SVt wakeups plus dropped IPIs, the acceptance
+// scenario) into one armed spec, or nil when both are unset.
+func buildFaultSpec(arg string, rate float64, seed int64) (*svtsim.FaultSpec, error) {
+	var spec *svtsim.FaultSpec
+	if arg != "" {
+		s, err := svtsim.ParseFaultSpec(arg, seed)
+		if err != nil {
+			return nil, err
+		}
+		spec = s
+	}
+	if rate > 0 {
+		if rate > 1 {
+			return nil, fmt.Errorf("-fault-rate %v: must be in (0, 1]", rate)
+		}
+		if spec == nil {
+			spec = &svtsim.FaultSpec{Seed: seed}
+		}
+		spec.Sites = append(spec.Sites,
+			svtsim.FaultSiteConfig{Site: svtsim.FaultSiteSVtWakeup, Rate: rate, Drop: true},
+			svtsim.FaultSiteConfig{Site: svtsim.FaultSiteIPI, Rate: rate, Drop: true},
+		)
+	}
+	return spec, nil
+}
 
 func parseMode(s string) (svtsim.Mode, error) {
 	switch s {
@@ -35,13 +63,16 @@ func parseMode(s string) (svtsim.Mode, error) {
 
 func main() {
 	var (
-		modeStr  = flag.String("mode", "baseline", "system variant: baseline, sw-svt, hw-svt")
-		workload = flag.String("workload", "cpuid", "cpuid, netrr, stream, diskrd, diskwr, memcached, tpcc, video")
-		n        = flag.Int("n", 500, "iterations (cpuid/netrr/disk*)")
-		dur      = flag.Duration("dur", time.Second, "duration (stream/memcached/tpcc)")
-		rate     = flag.Float64("rate", 10000, "offered load in requests/s (memcached)")
-		fps      = flag.Int("fps", 120, "frame rate (video)")
-		trace    = flag.Int("trace", 0, "dump the last N VM exits after a cpuid run")
+		modeStr   = flag.String("mode", "baseline", "system variant: baseline, sw-svt, hw-svt")
+		workload  = flag.String("workload", "cpuid", "cpuid, netrr, stream, diskrd, diskwr, memcached, tpcc, video")
+		n         = flag.Int("n", 500, "iterations (cpuid/netrr/disk*)")
+		dur       = flag.Duration("dur", time.Second, "duration (stream/memcached/tpcc)")
+		rate      = flag.Float64("rate", 10000, "offered load in requests/s (memcached)")
+		fps       = flag.Int("fps", 120, "frame rate (video)")
+		trace     = flag.Int("trace", 0, "dump the last N VM exits after a cpuid run")
+		faults    = flag.String("faults", "", "fault spec: site:key=val,...;... (sites: "+strings.Join(svtsim.FaultSites(), ", ")+")")
+		faultSeed = flag.Int64("fault-seed", 1, "fault plane RNG seed (replays are byte-identical per seed)")
+		faultRate = flag.Float64("fault-rate", 0, "shorthand: drop SW-SVt wakeups and IPIs at this probability")
 	)
 	flag.Parse()
 
@@ -49,6 +80,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if spec, err := buildFaultSpec(*faults, *faultRate, *faultSeed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	} else if spec != nil {
+		fmt.Fprintf(os.Stderr, "fault plane armed: %s (seed %d)\n", spec, spec.Seed)
+		svtsim.SetFaults(spec)
 	}
 	d := svtsim.Time(dur.Nanoseconds())
 

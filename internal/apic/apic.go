@@ -6,7 +6,12 @@
 // is one of the two dominant exit reasons in its profiles.
 package apic
 
-import "svtsim/internal/sim"
+import (
+	"fmt"
+
+	"svtsim/internal/fault"
+	"svtsim/internal/sim"
+)
 
 // Vector numbers used by the simulated machine.
 const (
@@ -29,6 +34,8 @@ type LAPIC struct {
 	deadlineEv *sim.Event
 	timerFired uint64
 	delivered  uint64
+	dropped    uint64
+	delayed    uint64
 	// OnDeliver, when set, is invoked after a vector becomes pending; the
 	// machine uses it to wake halted vCPUs.
 	OnDeliver func(vec int)
@@ -40,10 +47,51 @@ func New(id int, eng *sim.Engine) *LAPIC {
 }
 
 // Deliver marks vector vec pending. Delivering an already-pending vector
-// is idempotent (edge-collapsing, as on real hardware IRR bits).
+// is idempotent (edge-collapsing, as on real hardware IRR bits). Delivery
+// passes through the fault plane: an injected drop loses the vector and a
+// delay re-delivers it later, modelling interconnect misbehaviour between
+// a device (or sending core) and this LAPIC.
 func (l *LAPIC) Deliver(vec int) {
 	if vec < 0 || vec > 255 {
 		return
+	}
+	if l.eng != nil {
+		site := fault.SiteIRQ
+		if vec == VecIPI {
+			site = fault.SiteIPI
+		}
+		out := l.eng.Inject(site)
+		if out.Drop {
+			l.dropped++
+			return
+		}
+		if out.Delay > 0 {
+			l.delayed++
+			l.eng.After(out.Delay, func() { l.deliverNow(vec) })
+			return
+		}
+	}
+	l.deliverNow(vec)
+}
+
+// DeliverDirect marks vec pending, bypassing the fault plane. It is for
+// VM-entry event injection: the vector already crossed the interconnect
+// (paying any fault consult on that hop) and now lives in the VMCS
+// entry-interruption field — internal CPU state that cannot be lost or
+// delayed in transit again.
+func (l *LAPIC) DeliverDirect(vec int) {
+	if vec < 0 || vec > 255 {
+		return
+	}
+	l.deliverNow(vec)
+}
+
+func (l *LAPIC) deliverNow(vec int) {
+	if l.eng != nil {
+		// Idle loops watch the wake epoch: a delivery fired from event
+		// context may satisfy a waiter whose condition lives on another
+		// LAPIC (nested HLT chains wait at L0 for wakes owned by L1).
+		l.eng.NoteWake()
 	}
 	if !l.pending[vec] {
 		l.pending[vec] = true
@@ -110,3 +158,20 @@ func (l *LAPIC) TimerFired() uint64 { return l.timerFired }
 
 // Delivered reports the total vectors delivered (including collapsed ones).
 func (l *LAPIC) Delivered() uint64 { return l.delivered }
+
+// Dropped reports vectors lost to injected faults.
+func (l *LAPIC) Dropped() uint64 { return l.dropped }
+
+// Delayed reports vectors deferred by injected faults.
+func (l *LAPIC) Delayed() uint64 { return l.delayed }
+
+// ProbeState dumps the IRR for stall/deadlock reports.
+func (l *LAPIC) ProbeState() string {
+	vec, ok := l.PendingVector()
+	top := "none"
+	if ok {
+		top = fmt.Sprintf("%#02x", vec)
+	}
+	return fmt.Sprintf("pending=%d top=%s timer=%v delivered=%d dropped=%d delayed=%d",
+		l.npending, top, l.TimerArmed(), l.delivered, l.dropped, l.delayed)
+}

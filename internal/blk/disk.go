@@ -8,6 +8,7 @@ package blk
 import (
 	"fmt"
 
+	"svtsim/internal/fault"
 	"svtsim/internal/mem"
 	"svtsim/internal/sim"
 )
@@ -34,6 +35,9 @@ type Disk struct {
 	Reads  uint64
 	Writes uint64
 	Errors uint64
+	// Faulted counts requests perturbed by the fault plane (dropped
+	// completions surfaced as errors, or delayed completions).
+	Faulted uint64
 }
 
 // NewDisk builds a ramdisk of the given capacity in bytes.
@@ -72,11 +76,25 @@ func (d *Disk) Submit(write bool, sector uint64, data []byte, done func(ok bool,
 		d.Eng.After(d.ReadBase, func() { done(false, nil) })
 		return
 	}
+	// Fault plane: a dropped completion surfaces as an I/O error after the
+	// base latency (so callers never hang on a request that will not
+	// finish); a delay stretches the service time.
+	var faultDelay sim.Time
+	if out := d.Eng.Inject(fault.SiteBlkComplete); out.Faulty() {
+		if out.Drop {
+			d.Errors++
+			d.Faulted++
+			d.Eng.After(d.ReadBase+out.Delay, func() { done(false, nil) })
+			return
+		}
+		d.Faulted++
+		faultDelay = out.Delay
+	}
 	start := d.Eng.Now()
 	if d.busyUntil > start {
 		start = d.busyUntil
 	}
-	finish := start + d.svc(write, len(data))
+	finish := start + d.svc(write, len(data)) + faultDelay
 	d.busyUntil = finish
 	if write {
 		d.Writes++

@@ -183,10 +183,12 @@ func (g *NativeGuest) Port() *Port { return g.port }
 func (g *NativeGuest) Finished() bool { return g.finished }
 
 // DeliverIRQ delivers an injected vector to the guest's virtual LAPIC;
-// the guest's kernel handler runs at its next instruction boundary.
+// the guest's kernel handler runs at its next instruction boundary. The
+// vector comes from the VMCS entry-interruption field, so it bypasses
+// the fault plane: it already survived its interconnect hop.
 func (g *NativeGuest) DeliverIRQ(vec int) {
 	if g.port.VirtLAPIC != nil {
-		g.port.VirtLAPIC.Deliver(vec)
+		g.port.VirtLAPIC.DeliverDirect(vec)
 	}
 }
 

@@ -50,12 +50,12 @@ func ChannelStudy(n int, workloads []sim.Time) []ChannelPoint {
 	for _, pol := range []swsvt.Policy{swsvt.PolicyPoll, swsvt.PolicyMwait, swsvt.PolicyMutex} {
 		for _, place := range []swsvt.Placement{swsvt.PlaceSMT, swsvt.PlaceCrossCore, swsvt.PlaceCrossNUMA} {
 			for _, wl := range workloads {
-				cfg := machine.DefaultConfig(hv.ModeSWSVt)
+				cfg := config(hv.ModeSWSVt)
 				cfg.WaitPolicy = pol
 				cfg.Placement = place
 				m := machine.NewNested(cfg)
 				m.SetL2Workload(&computeCpuidLoop{n: n, compute: wl})
-				m.Run()
+				run(m)
 				m.Shutdown()
 				out = append(out, ChannelPoint{
 					Policy:    pol,

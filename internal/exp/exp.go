@@ -45,27 +45,27 @@ type CPUIDResult struct {
 
 // CPUIDNative measures the Figure 6 "L0" bar.
 func CPUIDNative(n int) CPUIDResult {
-	costs := machine.DefaultConfig(hv.ModeBaseline).Costs
+	costs := config(hv.ModeBaseline).Costs
 	total := machine.RunNative(&costs, &cpuidLoop{n: n})
 	return CPUIDResult{Label: "L0", PerOp: total / sim.Time(n)}
 }
 
 // CPUIDSingleLevel measures the Figure 6 "L1" bar.
 func CPUIDSingleLevel(n int) CPUIDResult {
-	m := machine.NewSingleLevel(machine.DefaultConfig(hv.ModeBaseline))
+	m := machine.NewSingleLevel(config(hv.ModeBaseline))
 	m.SetGuestWorkload(&cpuidLoop{n: n})
-	m.RunSingle()
+	runSingle(m)
 	return CPUIDResult{Label: "L1", PerOp: m.Now() / sim.Time(n)}
 }
 
 // CPUIDNested measures a nested cpuid run (Figure 6 "L2", "SW SVt" and
 // "HW SVt" bars, and the Table 1 breakdown for the baseline).
 func CPUIDNested(mode hv.Mode, n int) CPUIDResult {
-	m := machine.NewNested(machine.DefaultConfig(mode))
+	m := machine.NewNested(config(mode))
 	led := &sim.Ledger{}
 	m.Eng.SetLedger(led)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	m.Run()
+	run(m)
 	m.Shutdown()
 	label := "L2"
 	switch mode {
@@ -80,11 +80,11 @@ func CPUIDNested(mode hv.Mode, n int) CPUIDResult {
 // CPUIDNestedNoShadowing runs the baseline nested cpuid with hardware
 // VMCS shadowing disabled (the §2.1 ablation).
 func CPUIDNestedNoShadowing(n int) CPUIDResult {
-	cfg := machine.DefaultConfig(hv.ModeBaseline)
+	cfg := config(hv.ModeBaseline)
 	cfg.DisableVMCSShadowing = true
 	m := machine.NewNested(cfg)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	m.Run()
+	run(m)
 	m.Shutdown()
 	return CPUIDResult{Label: "L2 (no shadowing)", PerOp: m.Now() / sim.Time(n)}
 }
@@ -92,11 +92,11 @@ func CPUIDNestedNoShadowing(n int) CPUIDResult {
 // CPUIDNestedWithThunkRegs runs nested cpuid with a chosen number of
 // software-thunk registers (the "dozens of registers" sensitivity).
 func CPUIDNestedWithThunkRegs(mode hv.Mode, regs, n int) CPUIDResult {
-	cfg := machine.DefaultConfig(mode)
+	cfg := config(mode)
 	cfg.Costs.ThunkRegs = regs
 	m := machine.NewNested(cfg)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	m.Run()
+	run(m)
 	m.Shutdown()
 	return CPUIDResult{Label: "thunk-sweep", PerOp: m.Now() / sim.Time(n)}
 }
@@ -104,11 +104,11 @@ func CPUIDNestedWithThunkRegs(mode hv.Mode, regs, n int) CPUIDResult {
 // TraceNestedCPUID runs a nested cpuid workload with an exit trace
 // attached to L0 and returns the retained entries (newest-window).
 func TraceNestedCPUID(mode hv.Mode, n, ring int) []hv.TraceEntry {
-	m := machine.NewNested(machine.DefaultConfig(mode))
+	m := machine.NewNested(config(mode))
 	tr := hv.NewTrace(ring)
 	m.L0.SetTrace(tr)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	m.Run()
+	run(m)
 	m.Shutdown()
 	return tr.Entries()
 }
@@ -126,7 +126,7 @@ type IOResult struct {
 // netMachine builds a nested machine with the network stack and a peer
 // factory hook.
 func netMachine(mode hv.Mode) (*machine.Machine, *machine.IOStack) {
-	cfg := machine.DefaultConfig(mode)
+	cfg := config(mode)
 	io := machine.WireNestedIO(&cfg, machine.DefaultIOParams())
 	m := machine.NewNested(cfg)
 	return m, io
@@ -142,7 +142,7 @@ func NetLatency(mode hv.Mode, n int) IOResult {
 	}
 	w := &workload.NetRR{N: n, ReqSize: 1, TCPModel: true, SMP: true}
 	m.InstallL2(io, true, false, func(env *guest.Env) { w.Run(env) })
-	m.Run()
+	run(m)
 	m.Shutdown()
 	s, _ := stats.Summarize(w.Lat)
 	return IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
@@ -161,7 +161,7 @@ func NetBandwidth(mode hv.Mode, d sim.Time) IOResult {
 	io.SetL1NetTxCoalesce(16)
 	w := &workload.NetStream{Duration: d, MsgSize: 16 * 1024, Window: 2 << 20, SMP: false}
 	m.InstallL2(io, true, false, func(env *guest.Env) { w.Run(env) })
-	m.Run()
+	run(m)
 	m.Shutdown()
 	mbps := float64(peer.Received) * 8 / d.Seconds() / 1e6
 	return IOResult{Mode: mode, Mbps: mbps, ExitStats: &m.L0.NestedProf}
@@ -176,7 +176,7 @@ func DiskLatency(mode hv.Mode, write bool, n int) IOResult {
 		Rng: sim.NewRand(42), SMP: true,
 	}
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	m.Run()
+	run(m)
 	m.Shutdown()
 	s, _ := stats.Summarize(w.Lat)
 	return IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
@@ -191,7 +191,7 @@ func DiskBandwidth(mode hv.Mode, write bool, n int) IOResult {
 		Rng: sim.NewRand(43), SMP: true,
 	}
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	m.Run()
+	run(m)
 	m.Shutdown()
 	return IOResult{Mode: mode, KBs: w.ThroughputKBs(), ExitStats: &m.L0.NestedProf}
 }
@@ -223,7 +223,7 @@ func Memcached(mode hv.Mode, rate float64, d sim.Time) MemcachedResult {
 	}
 	io.NIC.Peer = client
 	client.Start(rate, m.Eng.Now()+d, rng.Float64)
-	m.Run()
+	run(m)
 	m.Shutdown()
 	res := MemcachedResult{Mode: mode, TargetQPS: rate, Served: srv.Served}
 	if len(client.Lat) > 0 {
@@ -238,7 +238,7 @@ func TPCC(mode hv.Mode, d sim.Time) float64 {
 	m, io := netMachine(mode)
 	w := &workload.TPCC{Duration: d, Rng: sim.NewRand(17), SMP: true}
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	m.Run()
+	run(m)
 	m.Shutdown()
 	return w.KTpm()
 }
@@ -261,7 +261,7 @@ func VideoN(mode hv.Mode, fps, frames int) VideoResult {
 	w := workload.NewVideo(fps, sim.NewRand(23))
 	w.Frames = frames
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	m.Run()
+	run(m)
 	m.Shutdown()
 	return VideoResult{Mode: mode, FPS: fps, Dropped: w.Dropped, Played: w.Played}
 }

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+
+	"svtsim/internal/cpu"
+	"svtsim/internal/fault"
+	"svtsim/internal/hv"
+	"svtsim/internal/machine"
+	"svtsim/internal/sim"
+)
+
+// faultSpec is the package-level fault configuration; every machine the
+// experiments assemble inherits it. Nil (the default) keeps runs healthy
+// and bit-identical to a build without the fault plane.
+var faultSpec *fault.Spec
+
+// SetFaults installs (or, with nil, clears) the fault spec applied to all
+// subsequent experiment runs. The CLI's -faults/-fault-rate flags land
+// here.
+func SetFaults(spec *fault.Spec) { faultSpec = spec }
+
+// config is the experiment-wide machine configuration: the calibrated
+// defaults plus whatever fault plane is armed.
+func config(mode hv.Mode) machine.Config {
+	cfg := machine.DefaultConfig(mode)
+	cfg.Faults = faultSpec
+	return cfg
+}
+
+// run executes a nested machine, stamping any panic with the seeds needed
+// to replay the failing run from its log line alone.
+func run(m *machine.Machine) *hv.Profile {
+	defer annotatePanic(m)
+	return m.Run()
+}
+
+// runSingle is run for single-level machines.
+func runSingle(m *machine.Machine) *hv.Profile {
+	defer annotatePanic(m)
+	return m.RunSingle()
+}
+
+func annotatePanic(m *machine.Machine) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	faults, fseed := "none", int64(0)
+	if m.Faults != nil {
+		faults = m.Cfg.Faults.String()
+		fseed = m.Faults.Seed()
+	}
+	panic(fmt.Sprintf("exp: run failed (seed=%d faults=%q fault-seed=%d): %v",
+		m.Cfg.Seed, faults, fseed, r))
+}
+
+// FaultSweepResult is one fault-injection run: the workload outcome plus
+// every recovery counter the fault plane exercised.
+type FaultSweepResult struct {
+	Mode      hv.Mode
+	Spec      string
+	Seed      int64
+	N         int
+	Total     sim.Time
+	PerOp     sim.Time
+	Completed bool
+
+	Reflections         uint64
+	WatchdogFires       uint64
+	Fallbacks           uint64
+	FallbackReflections uint64
+	BreakerTrips        uint64
+	BreakerRecoveries   uint64
+	SWFallbacks         uint64
+	FaultFires          uint64
+	IRQDropped          uint64
+	IRQDelayed          uint64
+}
+
+// StatsLine renders the result as one deterministic line; two runs with
+// the same spec and seed must produce byte-identical lines (the
+// reproducibility contract the determinism test pins).
+func (r FaultSweepResult) StatsLine() string {
+	return fmt.Sprintf("mode=%s n=%d seed=%d spec=%q total=%v perop=%v completed=%v "+
+		"refl=%d wd=%d fallbacks=%d open-fallbacks=%d trips=%d recoveries=%d swfb=%d fires=%d irqdrop=%d irqdelay=%d",
+		r.Mode, r.N, r.Seed, r.Spec, r.Total, r.PerOp, r.Completed,
+		r.Reflections, r.WatchdogFires, r.Fallbacks, r.FallbackReflections,
+		r.BreakerTrips, r.BreakerRecoveries, r.SWFallbacks, r.FaultFires,
+		r.IRQDropped, r.IRQDelayed)
+}
+
+// FaultSweep runs the nested cpuid micro-benchmark with the given fault
+// spec armed and reports the recovery counters. mutate, when non-nil,
+// runs after machine assembly so callers can tighten the watchdog or
+// breaker before the run.
+func FaultSweep(mode hv.Mode, spec *fault.Spec, n int, mutate func(*machine.Machine)) FaultSweepResult {
+	cfg := machine.DefaultConfig(mode)
+	cfg.Faults = spec
+	m := machine.NewNested(cfg)
+	if mutate != nil {
+		mutate(m)
+	}
+	m.SetL2Workload(&cpuidLoop{n: n})
+	run(m)
+	m.Shutdown()
+
+	r := FaultSweepResult{
+		Mode:      mode,
+		N:         n,
+		Total:     m.Now(),
+		PerOp:     m.Now() / sim.Time(n),
+		Completed: !m.L0.DeadlockDetected,
+	}
+	if spec != nil {
+		r.Spec = spec.String()
+		r.Seed = spec.Seed
+	}
+	r.SWFallbacks = m.L0.SWFallbacks
+	if m.Chan != nil {
+		r.Reflections = m.Chan.Reflections
+		r.WatchdogFires = m.Chan.WatchdogFires
+		r.Fallbacks = m.Chan.Fallbacks
+		r.FallbackReflections = m.Chan.FallbackReflections
+		r.BreakerTrips, r.BreakerRecoveries = m.Chan.BreakerStats()
+	}
+	if m.Faults != nil {
+		r.FaultFires = m.Faults.Fires()
+	}
+	for i := 0; i < m.Core.Contexts(); i++ {
+		if l := m.Core.LAPIC(cpu.ContextID(i)); l != nil {
+			r.IRQDropped += l.Dropped()
+			r.IRQDelayed += l.Delayed()
+		}
+	}
+	return r
+}

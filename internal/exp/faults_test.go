@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"testing"
+
+	"svtsim/internal/fault"
+	"svtsim/internal/hv"
+	"svtsim/internal/sim"
+)
+
+// TestFaultSweepLostWakeupsAndIPIs is the acceptance scenario: lost mwait
+// wakeups at 30% and dropped IPIs at 5% injected into the SW-SVt channel.
+// The run must complete — no hang — with the watchdog absorbing the lost
+// wakeups and virtual time advancing throughout.
+func TestFaultSweepLostWakeupsAndIPIs(t *testing.T) {
+	spec := &fault.Spec{
+		Seed: 11,
+		Sites: []fault.SiteConfig{
+			{Site: fault.SiteSVtWakeup, Rate: 0.30, Drop: true},
+			{Site: fault.SiteIPI, Rate: 0.05, Drop: true},
+		},
+	}
+	r := FaultSweep(hv.ModeSWSVt, spec, 400, nil)
+	t.Logf("%s", r.StatsLine())
+	if !r.Completed {
+		t.Fatal("fault sweep did not complete")
+	}
+	if r.WatchdogFires == 0 {
+		t.Fatal("watchdog never fired despite 30% lost wakeups")
+	}
+	if r.FaultFires == 0 {
+		t.Fatal("fault plane never fired")
+	}
+	if r.Reflections == 0 {
+		t.Fatal("no reflections happened")
+	}
+	if r.Total <= 0 {
+		t.Fatal("virtual time did not advance")
+	}
+	// The healthy run of the same workload finishes in ~3.5ms; the faulty
+	// run must cost more (watchdog waits) but still terminate promptly.
+	healthy := FaultSweep(hv.ModeSWSVt, nil, 400, nil)
+	if r.Total <= healthy.Total {
+		t.Fatalf("faulty run (%v) not slower than healthy run (%v)", r.Total, healthy.Total)
+	}
+}
+
+// TestFaultSweepBreakerTripsAndRecovers drives a deterministic burst of
+// lost wakeups long enough to exhaust the watchdog repeatedly: the
+// per-VCPU breaker must trip, route reflections to the baseline
+// trap/resume path while open, and re-arm once the burst ends.
+func TestFaultSweepBreakerTripsAndRecovers(t *testing.T) {
+	spec := &fault.Spec{
+		Seed: 1,
+		Sites: []fault.SiteConfig{
+			// Consults 51..70 all drop: with MaxRetries=3 each reflection
+			// burns 4 consults, so ~5 consecutive reflections fail — enough
+			// to trip the breaker (threshold 3) and fail one or two
+			// half-open probes before the burst ends and recovery succeeds.
+			{Site: fault.SiteSVtWakeup, Every: 1, After: 50, Limit: 20, Drop: true},
+		},
+	}
+	r := FaultSweep(hv.ModeSWSVt, spec, 400, nil)
+	t.Logf("%s", r.StatsLine())
+	if !r.Completed {
+		t.Fatal("run did not complete")
+	}
+	if r.Fallbacks == 0 {
+		t.Fatal("no reflection fell back despite exhausted watchdog")
+	}
+	if r.BreakerTrips == 0 {
+		t.Fatal("breaker never tripped on consecutive watchdog exhaustions")
+	}
+	if r.BreakerRecoveries == 0 {
+		t.Fatal("breaker never recovered after the fault burst ended")
+	}
+	if r.FallbackReflections == 0 {
+		t.Fatal("open breaker never short-circuited a reflection to trap/resume")
+	}
+	if r.SWFallbacks != r.Fallbacks+r.FallbackReflections {
+		t.Fatalf("hv counted %d fallbacks, channel counted %d+%d",
+			r.SWFallbacks, r.Fallbacks, r.FallbackReflections)
+	}
+	// After recovery the fast path must carry the rest of the run: most
+	// of the 400 iterations reflect over the channel.
+	if r.Reflections < 300 {
+		t.Fatalf("only %d reflections after recovery, fast path did not re-arm", r.Reflections)
+	}
+}
+
+// TestFaultSweepDeterminism pins the reproducibility contract: two runs
+// with the identical spec (same fault seed) produce byte-identical stats.
+func TestFaultSweepDeterminism(t *testing.T) {
+	mk := func() *fault.Spec {
+		return &fault.Spec{
+			Seed: 99,
+			Sites: []fault.SiteConfig{
+				{Site: fault.SiteSVtWakeup, Rate: 0.25, Drop: true},
+				{Site: fault.SiteIPI, Rate: 0.10, Drop: true},
+				{Site: fault.SiteRingPop, Rate: 0.05, Drop: true},
+			},
+		}
+	}
+	a := FaultSweep(hv.ModeSWSVt, mk(), 300, nil)
+	b := FaultSweep(hv.ModeSWSVt, mk(), 300, nil)
+	if a.StatsLine() != b.StatsLine() {
+		t.Fatalf("same fault seed diverged:\n  %s\n  %s", a.StatsLine(), b.StatsLine())
+	}
+	// A different seed must (for this config) actually change something,
+	// or the determinism check above proves nothing.
+	c := mk()
+	c.Seed = 100
+	d := FaultSweep(hv.ModeSWSVt, c, 300, nil)
+	if d.StatsLine() == a.StatsLine() {
+		t.Fatal("changing the fault seed changed nothing; injection looks seed-independent")
+	}
+}
+
+// TestFaultSweepDisabledMatchesBaseline: with no fault spec the sweep
+// harness must reproduce the plain experiment bit-for-bit.
+func TestFaultSweepDisabledMatchesBaseline(t *testing.T) {
+	for _, mode := range []hv.Mode{hv.ModeSWSVt, hv.ModeBaseline} {
+		r := FaultSweep(mode, nil, 200, nil)
+		plain := CPUIDNested(mode, 200)
+		if r.PerOp != plain.PerOp {
+			t.Fatalf("%v: fault harness perturbed a healthy run: %v != %v", mode, r.PerOp, plain.PerOp)
+		}
+		if r.WatchdogFires != 0 || r.Fallbacks != 0 || r.FaultFires != 0 {
+			t.Fatalf("%v: healthy run shows fault activity: %s", mode, r.StatsLine())
+		}
+	}
+}
+
+// TestFaultSweepDelayedIRQs: delayed (not dropped) host IRQ delivery must
+// slow the I/O path but never wedge it.
+func TestFaultSweepDelayedIRQs(t *testing.T) {
+	spec := &fault.Spec{
+		Seed: 5,
+		Sites: []fault.SiteConfig{
+			{Site: fault.SiteIRQ, Rate: 0.5, Delay: 20 * sim.Microsecond, Jitter: 10 * sim.Microsecond},
+		},
+	}
+	SetFaults(spec)
+	defer SetFaults(nil)
+	r := DiskLatency(hv.ModeSWSVt, false, 50)
+	healthySpec := (*fault.Spec)(nil)
+	SetFaults(healthySpec)
+	h := DiskLatency(hv.ModeSWSVt, false, 50)
+	if r.MeanUs <= h.MeanUs {
+		t.Fatalf("delayed IRQs did not slow disk reads: %0.1fus <= %0.1fus", r.MeanUs, h.MeanUs)
+	}
+}

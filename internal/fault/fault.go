@@ -1,0 +1,240 @@
+// Package fault implements a deterministic fault-injection plane for the
+// simulator. A Plane registers with the sim engine as its FaultInjector
+// and decides, at named sites, whether an action is dropped or delayed.
+// All randomness derives from a single seed with an independent stream
+// per site, so a failing run replays byte-identical from its seed — and
+// interleaving changes in one component cannot perturb the fault pattern
+// seen by another.
+//
+// The package also carries the recovery machinery the plane exercises: a
+// virtual-time Watchdog with bounded retry and exponential backoff (see
+// watchdog.go) and a per-VCPU circuit Breaker that degrades a vCPU from
+// the SW-SVt fast path back to baseline trap/resume (see breaker.go).
+package fault
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"svtsim/internal/sim"
+)
+
+// Named fault sites. Components consult the engine with one of these;
+// unknown sites are legal (they simply never fire) but ParseSpec rejects
+// them to catch typos in CLI specs.
+const (
+	// SiteSVtWakeup guards the mwait/poll wakeup of the SVt thread in
+	// swsvt.Channel.ReflectAndWait: a fired Drop models a lost monitor
+	// wakeup, a Delay models a late one.
+	SiteSVtWakeup = "swsvt/wakeup"
+	// SiteRingPush guards command-ring pushes (a stalled store-forward).
+	SiteRingPush = "swsvt/ring-push"
+	// SiteRingPop guards command-ring pops (a spurious empty pop).
+	SiteRingPop = "swsvt/ring-pop"
+	// SiteIRQ guards host IRQ delivery in internal/apic.
+	SiteIRQ = "apic/irq"
+	// SiteIPI guards IPI delivery (the SVT_BLOCKED kick path).
+	SiteIPI = "apic/ipi"
+	// SiteVirtioComplete guards virtio request completions.
+	SiteVirtioComplete = "virtio/complete"
+	// SiteBlkComplete guards disk I/O completions.
+	SiteBlkComplete = "blk/complete"
+)
+
+// Sites lists every known site, sorted.
+func Sites() []string {
+	s := []string{
+		SiteSVtWakeup, SiteRingPush, SiteRingPop,
+		SiteIRQ, SiteIPI, SiteVirtioComplete, SiteBlkComplete,
+	}
+	sort.Strings(s)
+	return s
+}
+
+func knownSite(name string) bool {
+	for _, s := range Sites() {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SiteConfig describes when and how one site misbehaves. Either Rate
+// (probabilistic) or Every (deterministic schedule) selects consults to
+// fault; After skips the first consults and Limit caps total fires, so a
+// scheduled config like {Every: 1, After: 10, Limit: 3} faults exactly
+// consults 11, 12, 13.
+type SiteConfig struct {
+	Site string
+	// Rate is the per-consult fault probability (0..1). Ignored when
+	// Every is set.
+	Rate float64
+	// Every, when > 0, fires deterministically on every Every-th
+	// eligible consult without touching the RNG.
+	Every uint64
+	// After skips the first After consults entirely.
+	After uint64
+	// Limit caps the number of fires; 0 means unlimited.
+	Limit uint64
+	// Drop loses the guarded action; Delay defers it. Both may be set.
+	Drop  bool
+	Delay sim.Time
+	// Jitter adds a uniform random extra delay in [0, Jitter) to every
+	// fired fault.
+	Jitter sim.Time
+}
+
+// SiteStats is one site's lifetime counters.
+type SiteStats struct {
+	Site     string
+	Consults uint64
+	Fires    uint64
+	Drops    uint64
+	Delays   uint64
+}
+
+// Event is one fired fault, recorded in the plane's trace.
+type Event struct {
+	Seq  uint64 // plane-wide fire sequence number
+	At   sim.Time
+	Site string
+	Out  sim.FaultOutcome
+}
+
+func (ev Event) String() string {
+	what := "delay=" + ev.Out.Delay.String()
+	if ev.Out.Drop {
+		what = "drop"
+		if ev.Out.Delay > 0 {
+			what += " delay=" + ev.Out.Delay.String()
+		}
+	}
+	return fmt.Sprintf("#%d t=%v %s %s", ev.Seq, ev.At, ev.Site, what)
+}
+
+type siteState struct {
+	cfg SiteConfig
+	rng *rand.Rand
+	SiteStats
+}
+
+// Plane is the fault injector. Construct with NewPlane, configure sites
+// with Add, and it decides outcomes as the engine consults it.
+type Plane struct {
+	eng      *sim.Engine
+	seed     int64
+	sites    map[string]*siteState
+	fires    uint64
+	trace    []Event
+	traceCap int
+}
+
+// NewPlane builds a plane over the engine's virtual clock and registers
+// it as the engine's fault injector. seed fully determines every outcome
+// the plane will ever produce (given a deterministic simulation).
+func NewPlane(eng *sim.Engine, seed int64) *Plane {
+	p := &Plane{
+		eng:      eng,
+		seed:     seed,
+		sites:    make(map[string]*siteState),
+		traceCap: 256,
+	}
+	eng.SetFaults(p)
+	return p
+}
+
+// Seed reports the seed the plane was built with, for failure logs.
+func (p *Plane) Seed() int64 { return p.seed }
+
+// Add arms a site. The site's RNG stream is derived from the plane seed
+// and the site name alone, so configuration order never changes
+// outcomes. Re-adding a site replaces its config and resets its stream.
+func (p *Plane) Add(cfg SiteConfig) {
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Site))
+	p.sites[cfg.Site] = &siteState{
+		cfg:       cfg,
+		rng:       sim.NewRand(p.seed ^ int64(h.Sum64())),
+		SiteStats: SiteStats{Site: cfg.Site},
+	}
+}
+
+// InjectFault implements sim.FaultInjector.
+func (p *Plane) InjectFault(site string) sim.FaultOutcome {
+	st := p.sites[site]
+	if st == nil {
+		return sim.FaultOutcome{}
+	}
+	st.Consults++
+	cfg := st.cfg
+	if st.Consults <= cfg.After {
+		return sim.FaultOutcome{}
+	}
+	if cfg.Limit > 0 && st.Fires >= cfg.Limit {
+		return sim.FaultOutcome{}
+	}
+	fire := false
+	switch {
+	case cfg.Every > 0:
+		fire = (st.Consults-cfg.After-1)%cfg.Every == 0
+	case cfg.Rate > 0:
+		fire = st.rng.Float64() < cfg.Rate
+	}
+	if !fire {
+		return sim.FaultOutcome{}
+	}
+	out := sim.FaultOutcome{Drop: cfg.Drop, Delay: cfg.Delay}
+	if cfg.Jitter > 0 {
+		out.Delay += sim.Time(st.rng.Int63n(int64(cfg.Jitter)))
+	}
+	if !out.Faulty() {
+		// A config with neither Drop nor Delay "fires" as a no-op;
+		// count the consult but record nothing.
+		return out
+	}
+	st.Fires++
+	if out.Drop {
+		st.Drops++
+	}
+	if out.Delay > 0 {
+		st.Delays++
+	}
+	p.fires++
+	if len(p.trace) < p.traceCap {
+		p.trace = append(p.trace, Event{
+			Seq: p.fires, At: p.eng.Now(), Site: site, Out: out,
+		})
+	}
+	return out
+}
+
+// Fires reports the total number of faults fired across all sites.
+func (p *Plane) Fires() uint64 { return p.fires }
+
+// Trace returns the first fired faults (bounded), in fire order.
+func (p *Plane) Trace() []Event { return p.trace }
+
+// Stats returns per-site counters, sorted by site name.
+func (p *Plane) Stats() []SiteStats {
+	out := make([]SiteStats, 0, len(p.sites))
+	for _, st := range p.sites {
+		out = append(out, st.SiteStats)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// String summarises the plane for logs: seed plus per-site counters.
+func (p *Plane) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault plane seed=%d fires=%d", p.seed, p.fires)
+	for _, s := range p.Stats() {
+		fmt.Fprintf(&b, "\n  %-16s consults=%-8d fires=%-6d drops=%-6d delays=%d",
+			s.Site, s.Consults, s.Fires, s.Drops, s.Delays)
+	}
+	return b.String()
+}

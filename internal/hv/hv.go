@@ -58,7 +58,10 @@ type Device interface {
 // exit to the SVt-thread on the sibling SMT context and blocks (in
 // virtual time) until the thread answers with a VM-resume command.
 type SWChannel interface {
-	ReflectAndWait(vc *VCPU, e *isa.Exit)
+	// ReflectAndWait reports whether the exit was serviced over the
+	// channel; false degrades this exit to the baseline trap/resume path
+	// (the channel's watchdog gave up or its breaker is open).
+	ReflectAndWait(vc *VCPU, e *isa.Exit) bool
 	// PendingForL1 reports whether the SVt-thread has interrupts waiting,
 	// so external-interrupt exits get reflected even though the (blocked)
 	// L1 main vCPU shows nothing pending.
@@ -184,6 +187,10 @@ type Hypervisor struct {
 	Stopped bool
 	// DeadlockDetected is set when Idle found no further events.
 	DeadlockDetected bool
+	// SWFallbacks counts nested exits the SW-SVt channel declined
+	// (watchdog exhaustion or open breaker) that were serviced on the
+	// baseline trap/resume path instead.
+	SWFallbacks uint64
 }
 
 // New builds a hypervisor instance.

@@ -182,12 +182,9 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 				l1Wants = l1Wants || h.SW.PendingForL1()
 			}
 			if l1Wants && ns.Vmcs12.Read(vmcs.PinControls)&vmcs.PinCtlExtIntExit != 0 {
-				stop := h.deliverToL1(vc, ns, e2)
+				handled := h.deliverToL1(vc, ns, e2)
 				h.recordNested(e2, tHandle)
-				if stop {
-					return true
-				}
-				if h.Mode == ModeSWSVt {
+				if h.Mode == ModeSWSVt && handled {
 					continue
 				}
 				return false
@@ -196,15 +193,15 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 			h.recordNested(e2, tHandle)
 
 		case h.ownedByL1(ns, e2):
-			stop := h.deliverToL1(vc, ns, e2)
+			handled := h.deliverToL1(vc, ns, e2)
 			h.recordNested(e2, tHandle)
-			if stop {
-				return true
-			}
-			if h.Mode == ModeSWSVt {
+			if h.Mode == ModeSWSVt && handled {
 				continue // the SVt-thread already handled it; re-enter L2
 			}
-			return false // resume L1 with the injected exit
+			// Baseline path — or a degraded SW-SVt reflection: the exit is
+			// already recorded in vmcs12, so resuming L1 services it on the
+			// classic trap/resume path.
+			return false
 
 		default:
 			// An exit L0 handles itself against vmcs02 (the guest
@@ -238,15 +235,21 @@ func (h *Hypervisor) recordNested(e2 *isa.Exit, start sim.Time) {
 }
 
 // deliverToL1 reflects e2 and, under SW SVt, round-trips it through the
-// command ring to the SVt-thread (§5.2). It reports whether the workload
-// ended while the exit was being serviced.
+// command ring to the SVt-thread (§5.2). It reports whether the exit was
+// fully serviced over the channel; false means the caller must resume L1
+// so the exit (already recorded in vmcs12 by reflectExit) is handled on
+// the baseline trap/resume path — either because this is baseline mode,
+// or because the channel degraded (watchdog exhausted, breaker open).
 func (h *Hypervisor) deliverToL1(vc *VCPU, ns *NestedState, e2 *isa.Exit) bool {
 	h.reflectExit(ns, e2)
 	if h.Mode == ModeSWSVt {
 		if h.SW == nil {
 			panic(h.Name + ": SW SVt mode without a command channel")
 		}
-		h.SW.ReflectAndWait(vc, e2)
+		if h.SW.ReflectAndWait(vc, e2) {
+			return true
+		}
+		h.SWFallbacks++
 	}
 	return false
 }

@@ -200,7 +200,15 @@ func (p *RealPlatform) INVEPT(eptp uint64) {
 }
 
 // Idle implements Platform: advance virtual time until an interrupt shows
-// up on the hosting context's physical LAPIC or on vc's virtual LAPIC.
+// up on the hosting context's physical LAPIC or on vc's virtual LAPIC —
+// or until an event dispatch delivers an interrupt anywhere else (wake
+// epoch). The epoch check matters for nested HLT chains: L0 idles on
+// behalf of a guest hypervisor whose own wait condition is a *different*
+// virtual LAPIC, so any delivery fired from event context (a fault-delayed
+// re-delivery, for instance) must unwind the sleeper and let every level
+// re-check. In healthy runs event-context deliveries land on physical
+// LAPICs, where AnyPendingIRQ already catches them, so the epoch check
+// changes nothing.
 func (p *RealPlatform) Idle(vc *VCPU) bool {
 	for {
 		if p.Core.AnyPendingIRQ() {
@@ -209,8 +217,12 @@ func (p *RealPlatform) Idle(vc *VCPU) bool {
 		if vc.VirtLAPIC != nil && vc.VirtLAPIC.HasPending() {
 			return true
 		}
+		mark := p.Core.Eng.WakeEpoch()
 		if !p.Core.Eng.Step() {
 			return false
+		}
+		if p.Core.Eng.WakeEpoch() != mark {
+			return true
 		}
 	}
 }

@@ -131,12 +131,14 @@ func WireNestedIO(cfg *Config, p IOParams) *IOStack {
 
 		view01 := ept.NewView(m.HostMem, m.Ept01)
 		io.L0Net = virtio.NewNetBackend("l0-virtio-net", L1NetMMIO, view01, io.NIC)
+		io.L0Net.Eng = eng
 		io.L0Net.NotifyHost = func() { m.Core.LAPIC(0).Deliver(HostNetVec) }
 		io.L0Net.RaiseGuestIRQ = func() { m.L0.InjectIRQ(m.L1IRQTarget(), apic.VecVirtioNet) }
 		m.L0.Devices[DevL1Net] = io.L0Net
 		m.L0.VectorToDevice[HostNetVec] = io.L0Net
 
 		io.L0Blk = virtio.NewBlkBackend("l0-virtio-blk", L1BlkMMIO, view01, io.Disk)
+		io.L0Blk.Eng = eng
 		io.L0Blk.NotifyHost = func() { m.Core.LAPIC(0).Deliver(HostBlkVec) }
 		io.L0Blk.RaiseGuestIRQ = func() { m.L0.InjectIRQ(m.L1IRQTarget(), apic.VecVirtioBlk) }
 		m.L0.Devices[DevL1Blk] = io.L0Blk
@@ -165,12 +167,14 @@ func WireNestedIO(cfg *Config, p IOParams) *IOStack {
 		io.L1Net = virtio.NewNetBackend("l1-vhost-net", L2NetMMIO, l2mem, nd.AsTransport())
 		// Completion work at L1 happens synchronously in L1's kernel
 		// context (the driver interrupt already runs there).
+		io.L1Net.Eng = m.Eng
 		io.L1Net.TxCoalesce = io.l1NetTxCoalesce
 		io.L1Net.NotifyHost = func() { io.L1Net.OnIRQ() }
 		io.L1Net.RaiseGuestIRQ = func() { h1.InjectIRQ(m.VC12, apic.VecVirtioNet) }
 		h1.Devices[DevL2Net] = io.L1Net
 
 		io.L1Blk = virtio.NewBlkBackend("l1-vhost-blk", L2BlkMMIO, l2mem, bd.AsTransport())
+		io.L1Blk.Eng = m.Eng
 		io.L1Blk.NotifyHost = func() { io.L1Blk.OnIRQ() }
 		io.L1Blk.RaiseGuestIRQ = func() { h1.InjectIRQ(m.VC12, apic.VecVirtioBlk) }
 		h1.Devices[DevL2Blk] = io.L1Blk

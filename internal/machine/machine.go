@@ -13,6 +13,7 @@ import (
 	"svtsim/internal/cost"
 	"svtsim/internal/cpu"
 	"svtsim/internal/ept"
+	"svtsim/internal/fault"
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
 	"svtsim/internal/mem"
@@ -80,6 +81,11 @@ type Config struct {
 	// ablation that quantifies how many of the guest hypervisor's field
 	// accesses the hardware absorbs.
 	DisableVMCSShadowing bool
+
+	// Faults optionally arms the deterministic fault-injection plane.
+	// Nil (or a spec with no sites) registers no injector: the run is
+	// bit-identical to a build without the plane.
+	Faults *fault.Spec
 }
 
 // DefaultConfig returns the calibrated configuration for a mode.
@@ -102,6 +108,9 @@ type Machine struct {
 	Core      *cpu.Core
 	HostMem   *mem.Memory
 	HostAlloc *mem.Allocator
+
+	// Faults is the live fault plane (nil on healthy runs).
+	Faults *fault.Plane
 
 	L0   *hv.Hypervisor
 	Real *hv.RealPlatform
@@ -146,11 +155,20 @@ func contextsFor(mode hv.Mode) int {
 func newBase(cfg Config, nctx int) *Machine {
 	m := &Machine{Cfg: cfg, nctx: nctx}
 	m.Eng = sim.New()
+	m.Faults = cfg.Faults.Build(m.Eng)
+	// Livelock guard: no healthy simulation dispatches anywhere near this
+	// many events at a single virtual instant, so tripping it means two
+	// components are waking each other without time advancing. The engine
+	// panics with a structured report (rings, LAPICs, channel state)
+	// instead of hanging the process.
+	m.Eng.SetStallLimit(1_000_000)
 	m.HostMem = mem.New(HostMemSize)
 	m.HostAlloc = mem.NewAllocator(HostMemSize)
 	m.Core = cpu.New(m.Eng, &m.Cfg.Costs, nctx, m.HostMem)
 	for i := 0; i < nctx; i++ {
-		m.Core.SetLAPIC(cpu.ContextID(i), apic.New(i, m.Eng))
+		l := apic.New(i, m.Eng)
+		m.Core.SetLAPIC(cpu.ContextID(i), l)
+		m.Eng.AddProbe(fmt.Sprintf("lapic%d", i), l.ProbeState)
 	}
 	if cfg.Mode == hv.ModeHWSVt || cfg.Mode == hv.ModeHWSVtBypass {
 		if err := core.DefaultHierarchy().Enable(m.Core); err != nil {
@@ -309,7 +327,15 @@ func (m *Machine) buildSWSVt() {
 		Policy:          m.Cfg.WaitPolicy,
 		Placement:       m.Cfg.Placement,
 		BlockedProtocol: m.Cfg.BlockedProtocol,
+
+		// Recovery machinery. With no fault injector registered these
+		// never act, so healthy runs charge exactly what they used to.
+		Eng:              m.Eng,
+		WD:               fault.DefaultWatchdog(),
+		BreakerThreshold: 3,
+		BreakerCooldown:  200 * sim.Microsecond,
 	}
+	m.Eng.AddProbe("swsvt-channel", m.Chan.ProbeState)
 	m.SVtThread.Ch = m.Chan
 	m.L0.SW = m.Chan
 	m.L0.OnPairHypercall = func(vc *hv.VCPU, arg uint64) {} // pairing recorded implicitly
@@ -320,6 +346,15 @@ func (m *Machine) buildSWSVt() {
 func (m *Machine) svtThreadSetup(p *cpu.Port) {
 	plat := hv.NewVirtualPlatform(p)
 	h1 := hv.New("L1-svt", plat, &m.Cfg.Costs, 1, m.Cfg.Mode)
+	// Share the device map with the main L1 hypervisor instance (which
+	// has already booted: its body runs before the first reflection can
+	// reach the SVt-thread). In SW-SVt mode only the SVt-thread's
+	// instance gets wired, but when the channel degrades to trap/resume
+	// the main instance services L2's device exits — through this same
+	// map object.
+	if m.L1HV != nil {
+		h1.Devices = m.L1HV.Devices
+	}
 	m.SVtThread.H1 = h1
 	m.SVtThread.Plat = plat
 	p.IRQHandler = h1.HandleKernelIRQ

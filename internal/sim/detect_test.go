@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLivelockDetectorFires(t *testing.T) {
+	e := New()
+	e.SetStallLimit(100)
+	var got *StallReport
+	e.SetStallHandler(func(r *StallReport) { got = r })
+	e.AddProbe("ring", func() string { return "occupancy=3/64" })
+
+	// Two events that reschedule each other at the same instant forever:
+	// the classic zero-delay wakeup loop.
+	var ping func()
+	n := 0
+	ping = func() {
+		n++
+		if got == nil {
+			e.At(e.Now(), ping)
+		}
+	}
+	e.At(0, ping)
+	e.Drain(10_000)
+
+	if got == nil {
+		t.Fatal("livelock detector never fired")
+	}
+	if got.SameInstant < 100 {
+		t.Fatalf("report counted %d same-instant dispatches, want >= 100", got.SameInstant)
+	}
+	s := got.String()
+	if !strings.Contains(s, "livelock") || !strings.Contains(s, "occupancy=3/64") {
+		t.Fatalf("report missing reason or probe state:\n%s", s)
+	}
+}
+
+func TestLivelockDetectorIgnoresAdvancingTime(t *testing.T) {
+	e := New()
+	e.SetStallLimit(10)
+	fired := false
+	e.SetStallHandler(func(*StallReport) { fired = true })
+
+	// Many events, but each at its own instant: healthy simulation.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Drain(10_000)
+	if fired {
+		t.Fatal("detector fired on a time-advancing run")
+	}
+	if n != 1000 {
+		t.Fatalf("expected 1000 ticks, got %d", n)
+	}
+}
+
+func TestDefaultStallHandlerPanicsWithReport(t *testing.T) {
+	e := New()
+	e.SetStallLimit(10)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from default stall handler")
+		}
+		if !strings.Contains(r.(string), "virtual time stopped advancing") {
+			t.Fatalf("panic missing report: %v", r)
+		}
+	}()
+	var loop func()
+	loop = func() { e.At(e.Now(), loop) }
+	e.At(0, loop)
+	e.Drain(1_000)
+}
+
+func TestReportCollectsProbes(t *testing.T) {
+	e := New()
+	e.AddProbe("a", func() string { return "state-a" })
+	e.AddProbe("b", func() string { return "state-b" })
+	r := e.Report("no runnable events remain (deadlock)")
+	if len(r.Probes) != 2 || r.Probes[0].State != "state-a" || r.Probes[1].State != "state-b" {
+		t.Fatalf("probes not collected: %+v", r.Probes)
+	}
+	if !strings.Contains(r.String(), "deadlock") {
+		t.Fatalf("reason missing: %s", r.String())
+	}
+}
+
+type constInjector struct{ out FaultOutcome }
+
+func (c constInjector) InjectFault(string) FaultOutcome { return c.out }
+
+func TestEngineInjectDefaultsToNoFault(t *testing.T) {
+	e := New()
+	if out := e.Inject("any/site"); out.Faulty() {
+		t.Fatalf("nil injector produced a fault: %+v", out)
+	}
+	e.SetFaults(constInjector{FaultOutcome{Drop: true}})
+	if out := e.Inject("any/site"); !out.Drop {
+		t.Fatal("registered injector not consulted")
+	}
+	e.SetFaults(nil)
+	if out := e.Inject("any/site"); out.Faulty() {
+		t.Fatal("deregistered injector still consulted")
+	}
+}

@@ -55,7 +55,18 @@ type Engine struct {
 	queue      eventHeap
 	seq        uint64
 	dispatched uint64
+	wakeEpoch  uint64
 	ledger     *Ledger
+
+	// Fault-injection plane (nil = healthy run, zero overhead).
+	faults FaultInjector
+
+	// Livelock/deadlock detection (see detect.go).
+	stallLimit uint64
+	stallCount uint64
+	stallAt    Time
+	onStall    func(*StallReport)
+	probes     []Probe
 }
 
 // New returns an engine with the clock at zero and an empty queue.
@@ -66,6 +77,19 @@ func (e *Engine) Now() Time { return e.now }
 
 // Dispatched reports how many events have fired so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// NoteWake records a wake-relevant occurrence (an interrupt delivery,
+// typically). Idle loops sample WakeEpoch around Step: a bump means an
+// event just changed interrupt state somewhere — possibly on a LAPIC the
+// loop's own wait condition does not cover — so the sleeper must unwind
+// and let every level of the HLT chain re-check its condition. Without
+// this, a delivery rescheduled into event context (e.g. by the fault
+// plane's delay injection) can satisfy a waiter that no one re-examines,
+// and the idle loop runs the queue dry and declares a false deadlock.
+func (e *Engine) NoteWake() { e.wakeEpoch++ }
+
+// WakeEpoch reports the wake counter; see NoteWake.
+func (e *Engine) WakeEpoch() uint64 { return e.wakeEpoch }
 
 // Advance moves the clock forward by d without dispatching events; it is
 // how executing entities charge compute time. Negative durations are
@@ -128,6 +152,7 @@ func (e *Engine) DispatchDue() int {
 		ev := heap.Pop(&e.queue).(*Event)
 		e.dispatched++
 		n++
+		e.noteDispatch()
 		ev.fn()
 	}
 	return n

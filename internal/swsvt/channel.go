@@ -5,6 +5,7 @@ import (
 
 	"svtsim/internal/cost"
 	"svtsim/internal/cpu"
+	"svtsim/internal/fault"
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
 	"svtsim/internal/sim"
@@ -43,11 +44,38 @@ type Channel struct {
 	// its handler.
 	BlockedProtocol bool
 
+	// Eng gives the channel access to the fault plane and virtual clock.
+	// With no injector registered on it the fault consults are free, so
+	// a healthy run charges exactly what it did before the plane existed.
+	Eng *sim.Engine
+	// WD is the ring watchdog: how long L0₀ waits for the SVt-thread
+	// before re-sending a wakeup, and how many retries it gets before a
+	// reflection gives up and falls back.
+	WD *fault.Watchdog
+	// BreakerThreshold consecutive watchdog exhaustions trip a per-VCPU
+	// breaker that routes the vCPU to baseline trap/resume until
+	// BreakerCooldown of virtual time has passed. Zero disables breakers
+	// (each exhausted reflection still falls back individually).
+	BreakerThreshold int
+	BreakerCooldown  sim.Time
+
+	breakers map[*hv.VCPU]*fault.Breaker
+
 	// Stats.
 	Reflections   uint64
 	BlockedEvents uint64
-	lastReturn    sim.Time
-	stopped       bool
+	// WatchdogFires counts watchdog expiries (lost wakeups, stalled
+	// pushes, spurious pops that had to be retried).
+	WatchdogFires uint64
+	// Fallbacks counts reflections abandoned after the watchdog
+	// exhausted its retries; the exit was re-handled on the baseline
+	// trap/resume path.
+	Fallbacks uint64
+	// FallbackReflections counts reflections short-circuited to the
+	// baseline path by an open breaker (no SW-SVt attempt at all).
+	FallbackReflections uint64
+	lastReturn          sim.Time
+	stopped             bool
 }
 
 var _ hv.SWChannel = (*Channel)(nil)
@@ -58,8 +86,68 @@ func (ch *Channel) Stopped() bool { return ch.stopped }
 func (ch *Channel) now() sim.Time { return ch.L0.P.Now() }
 
 // ReflectAndWait implements hv.SWChannel: steps 2 and 3 of Figure 5.
-func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) {
-	ch.Reflections++
+// It reports whether the exit was handled over the channel; false means
+// the fast path is degraded (watchdog retries exhausted, or the per-VCPU
+// breaker is open) and the caller must service the exit on the baseline
+// trap/resume path instead — the paper's requirement that SVt never be
+// less live than vanilla nesting.
+func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) bool {
+	br := ch.breakerFor(vc)
+	if br != nil && !br.Allow() {
+		ch.FallbackReflections++
+		return false
+	}
+	ok := ch.reflect(e)
+	if br != nil {
+		if ok {
+			br.Success()
+		} else {
+			br.Failure()
+		}
+	}
+	if !ok {
+		ch.Fallbacks++
+	}
+	return ok
+}
+
+// breakerFor lazily builds the per-VCPU breaker guarding the fast path.
+func (ch *Channel) breakerFor(vc *hv.VCPU) *fault.Breaker {
+	if ch.BreakerThreshold <= 0 || ch.Eng == nil {
+		return nil
+	}
+	if ch.breakers == nil {
+		ch.breakers = make(map[*hv.VCPU]*fault.Breaker)
+	}
+	b := ch.breakers[vc]
+	if b == nil {
+		b = fault.NewBreaker(ch.Eng, ch.BreakerThreshold, ch.BreakerCooldown)
+		ch.breakers[vc] = b
+	}
+	return b
+}
+
+// BreakerStats sums trips and recoveries across all per-VCPU breakers.
+func (ch *Channel) BreakerStats() (trips, recoveries uint64) {
+	for _, b := range ch.breakers {
+		trips += b.Trips()
+		recoveries += b.Recoveries()
+	}
+	return
+}
+
+// ProbeState dumps ring occupancy and channel counters for stall reports.
+func (ch *Channel) ProbeState() string {
+	return fmt.Sprintf("toSVt=%d/%d fromSVt=%d/%d reflections=%d watchdog=%d fallbacks=%d+%d stopped=%v",
+		ch.ToSVt.Len(), ch.ToSVt.Cap(), ch.FromSVt.Len(), ch.FromSVt.Cap(),
+		ch.Reflections, ch.WatchdogFires, ch.Fallbacks, ch.FallbackReflections, ch.stopped)
+}
+
+// reflect performs one fault-aware reflection round trip. On a healthy
+// run (no fault fires) its charges are byte-identical to the pre-fault-
+// plane implementation: every consult below returns the zero outcome for
+// free when no injector is registered.
+func (ch *Channel) reflect(e *isa.Exit) bool {
 	m := ch.Costs
 
 	// Under a polling policy at SMT placement, L0₀'s spinning since the
@@ -68,10 +156,10 @@ func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) {
 		ch.L0.P.Charge(PollStolenCycles(m, ch.Policy, ch.Placement, ch.now()-ch.lastReturn))
 	}
 
-	// Push CMD_VM_TRAP with the register payload.
-	ch.L0.P.Charge(m.RingCmd + sim.Time(int(isa.NumGPR))*m.RingPayloadReg)
-	if err := ch.ToSVt.Push(Cmd{Type: CmdVMTrap, Exit: uint64(e.Reason)}); err != nil {
-		panic(fmt.Sprintf("swsvt: %v", err))
+	// Push CMD_VM_TRAP with the register payload; a stalled push retries
+	// under the watchdog.
+	if !ch.pushTrap(e) {
+		return false
 	}
 	// The SVt-thread wakes per its wait policy; it has been waiting since
 	// it finished the previous command (which decides whether a mutex is
@@ -80,6 +168,16 @@ func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) {
 	if ch.lastReturn == 0 {
 		threadIdle = 0
 	}
+	// A lost mwait wakeup is invisible to L0₀ until the watchdog expires;
+	// each expiry charges the backed-off timeout and re-sends the wakeup.
+	if !ch.wakeRetry(fault.SiteSVtWakeup) {
+		// Retries exhausted: reclaim the unconsumed CMD_VM_TRAP so the
+		// SVt-thread does not serve a stale command after re-arm, and
+		// let the caller fall back to trap/resume.
+		ch.ToSVt.Pop()
+		return false
+	}
+	ch.Reflections++
 	ch.L0.P.Charge(WakeLatency(m, ch.Policy, ch.Placement, threadIdle))
 
 	sent := ch.now()
@@ -94,6 +192,24 @@ func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) {
 		ch.serviceBlockedL1()
 	}
 
+	// A spurious empty pop re-reads after a watchdog wait. The response
+	// is in the ring (the SVt-thread pushed before parking), so it can
+	// only be late, never lost: exhaustion falls through to a final read.
+	for attempt := 0; ch.Eng != nil; attempt++ {
+		out := ch.Eng.Inject(fault.SiteRingPop)
+		if out.Delay > 0 {
+			ch.L0.P.Charge(out.Delay)
+		}
+		if !out.Drop || ch.WD == nil {
+			break
+		}
+		ch.WD.Fire()
+		ch.WatchdogFires++
+		ch.L0.P.Charge(ch.WD.TimeoutFor(attempt))
+		if attempt >= ch.WD.MaxRetries {
+			break
+		}
+	}
 	cmd, ok := ch.FromSVt.Pop()
 	if !ok {
 		if ch.stopped {
@@ -103,7 +219,7 @@ func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) {
 	}
 	if cmd.Type == CmdShutdown {
 		ch.stopped = true
-		return
+		return true
 	}
 	if cmd.Type != CmdVMResume {
 		panic(fmt.Sprintf("swsvt: unexpected response %v", cmd.Type))
@@ -111,6 +227,68 @@ func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) {
 	// L0₀ was waiting on the response ring with the same policy.
 	ch.L0.P.Charge(WakeLatency(m, ch.Policy, ch.Placement, ch.now()-sent))
 	ch.lastReturn = ch.now()
+	return true
+}
+
+// pushTrap pushes CMD_VM_TRAP with the register payload, retrying
+// stalled pushes (fault-injected or a genuinely full ring) under the
+// watchdog. It reports false when the retries are exhausted.
+func (ch *Channel) pushTrap(e *isa.Exit) bool {
+	m := ch.Costs
+	for attempt := 0; ; attempt++ {
+		stalled := false
+		if ch.Eng != nil {
+			out := ch.Eng.Inject(fault.SiteRingPush)
+			if out.Delay > 0 {
+				ch.L0.P.Charge(out.Delay)
+			}
+			stalled = out.Drop
+		}
+		if !stalled {
+			ch.L0.P.Charge(m.RingCmd + sim.Time(int(isa.NumGPR))*m.RingPayloadReg)
+			if err := ch.ToSVt.Push(Cmd{Type: CmdVMTrap, Exit: uint64(e.Reason)}); err == nil {
+				return true
+			}
+			// ErrRingFull: the consumer is stuck; wait and retry rather
+			// than dropping the command or killing the run.
+		}
+		if ch.WD == nil {
+			return false
+		}
+		ch.WD.Fire()
+		ch.WatchdogFires++
+		ch.L0.P.Charge(ch.WD.TimeoutFor(attempt))
+		if attempt >= ch.WD.MaxRetries {
+			return false
+		}
+	}
+}
+
+// wakeRetry drives one drop-capable fault site under the watchdog:
+// consult, and on a drop charge the backed-off timeout and try again, up
+// to MaxRetries. Reports whether the action eventually went through.
+func (ch *Channel) wakeRetry(site string) bool {
+	if ch.Eng == nil {
+		return true
+	}
+	for attempt := 0; ; attempt++ {
+		out := ch.Eng.Inject(site)
+		if out.Delay > 0 {
+			ch.L0.P.Charge(out.Delay)
+		}
+		if !out.Drop {
+			return true
+		}
+		if ch.WD == nil {
+			return false
+		}
+		ch.WD.Fire()
+		ch.WatchdogFires++
+		ch.L0.P.Charge(ch.WD.TimeoutFor(attempt))
+		if attempt >= ch.WD.MaxRetries {
+			return false
+		}
+	}
 }
 
 // runSVtThread drives the SVt-thread's context until it parks in its
@@ -145,7 +323,11 @@ func (ch *Channel) runSVtThread() {
 			}
 		}
 		if stop := ch.L0.Handle(ch.VcpuSVt, e); stop {
-			panic(fmt.Sprintf("swsvt: SVt-thread session stopped on %v (deadlock=%v) at %v", e, ch.L0.DeadlockDetected, ch.L0.P.Now()))
+			msg := fmt.Sprintf("swsvt: SVt-thread session stopped on %v (deadlock=%v) at %v", e, ch.L0.DeadlockDetected, ch.L0.P.Now())
+			if ch.Eng != nil {
+				msg += "\n" + ch.Eng.Report(msg).String()
+			}
+			panic(msg)
 		}
 	}
 }
@@ -228,9 +410,46 @@ func (t *SVtThread) Body(p *cpu.Port) {
 		t.H1.Handle(t.VC12, e)
 		t.H1.PrepareResume(t.VC12)
 		t.Handled++
-		p.Charge(t.Ch.Costs.RingCmd + sim.Time(int(isa.NumGPR))*t.Ch.Costs.RingPayloadReg)
-		if err := t.Ch.FromSVt.Push(Cmd{Type: CmdVMResume}); err != nil {
-			panic(fmt.Sprintf("swsvt thread: %v", err))
+		t.pushResume(p)
+	}
+}
+
+// pushResume answers CMD_VM_RESUME, retrying stalled pushes under the
+// watchdog. Unlike the L0 side there is no fallback here — L0₀ is
+// parked on the response ring — so exhausting the retries fails loudly
+// with the engine's structured report instead of deadlocking the rings.
+func (t *SVtThread) pushResume(p *cpu.Port) {
+	ch := t.Ch
+	p.Charge(ch.Costs.RingCmd + sim.Time(int(isa.NumGPR))*ch.Costs.RingPayloadReg)
+	for attempt := 0; ; attempt++ {
+		stalled := false
+		if ch.Eng != nil {
+			out := ch.Eng.Inject(fault.SiteRingPush)
+			if out.Delay > 0 {
+				p.Charge(out.Delay)
+			}
+			stalled = out.Drop
+		}
+		if !stalled {
+			if err := ch.FromSVt.Push(Cmd{Type: CmdVMResume}); err == nil {
+				return
+			}
+		}
+		if ch.WD == nil {
+			panic("swsvt thread: response ring push failed with no watchdog")
+		}
+		ch.WD.Fire()
+		ch.WatchdogFires++
+		p.Charge(ch.WD.TimeoutFor(attempt))
+		// The thread gets a much longer leash than a reflection (which
+		// can fall back): give up only when a fallback-less retry storm
+		// shows the ring is truly wedged.
+		if attempt >= 4*(ch.WD.MaxRetries+1) {
+			reason := "SVt-thread response push stalled beyond watchdog"
+			if ch.Eng != nil {
+				panic(ch.Eng.Report(reason).String())
+			}
+			panic("swsvt thread: " + reason)
 		}
 	}
 }

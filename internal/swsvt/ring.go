@@ -67,8 +67,19 @@ func NewRing(capacity int) *Ring {
 // Cap reports the ring capacity.
 func (r *Ring) Cap() int { return len(r.buf) }
 
-// Len reports the number of queued commands.
-func (r *Ring) Len() int { return int(r.tail - r.head) }
+// Len reports the number of queued commands. head and tail are free-
+// running uint64 counters, so tail-head is the occupancy only while the
+// invariant head <= tail <= head+cap holds; if it ever breaks (a caller
+// corrupting the indices, or a wrapped subtraction) the difference
+// underflows to an enormous value and every subsequent Push/Pop silently
+// misbehaves. Fail loudly instead.
+func (r *Ring) Len() int {
+	n := r.tail - r.head
+	if n > uint64(len(r.buf)) {
+		panic(fmt.Sprintf("swsvt: ring corrupt: head=%d tail=%d cap=%d", r.head, r.tail, len(r.buf)))
+	}
+	return int(n)
+}
 
 // Pushes reports the total commands ever pushed.
 func (r *Ring) Pushes() uint64 { return r.pushes }

@@ -110,7 +110,7 @@ func (b *BlkBackend) kick(qi int) {
 			p.read = read
 			b.completed = append(b.completed, p)
 			if b.NotifyHost != nil {
-				b.NotifyHost()
+				b.notify(b.NotifyHost)
 			}
 		})
 	}

@@ -1,6 +1,11 @@
 package virtio
 
-import "fmt"
+import (
+	"fmt"
+
+	"svtsim/internal/fault"
+	"svtsim/internal/sim"
+)
 
 // MMIO register layout of the device window (virtio-mmio flavoured).
 // Drivers program queue addresses through these registers at boot; each
@@ -27,6 +32,10 @@ type DeviceCommon struct {
 	Base    uint64
 	Mem     MemIO
 
+	// Eng, when set, routes completion notifications through the fault
+	// plane (virtio/complete site); nil keeps the device fault-free.
+	Eng *sim.Engine
+
 	sel     int
 	staging [MaxQueues]Layout
 	queues  [MaxQueues]*Queue
@@ -35,6 +44,31 @@ type DeviceCommon struct {
 	OnKick func(q int)
 
 	Kicks uint64
+	// NotifyLost counts host-completion notifications dropped by injected
+	// faults (the queued work itself survives; any later completion pass
+	// retires it).
+	NotifyLost uint64
+	// NotifyDelayed counts notifications deferred by injected faults.
+	NotifyDelayed uint64
+}
+
+// notify routes a host-completion notification through the fault plane:
+// a delay re-raises it later, a drop loses this edge entirely. fn is the
+// backend's NotifyHost hook and must be non-nil.
+func (c *DeviceCommon) notify(fn func()) {
+	if c.Eng != nil {
+		out := c.Eng.Inject(fault.SiteVirtioComplete)
+		if out.Drop {
+			c.NotifyLost++
+			return
+		}
+		if out.Delay > 0 {
+			c.NotifyDelayed++
+			c.Eng.After(out.Delay, fn)
+			return
+		}
+	}
+	fn()
 }
 
 // Name implements hv.Device.

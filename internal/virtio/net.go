@@ -104,7 +104,7 @@ func (b *NetBackend) drainTX() {
 		b.Transport.Send(pkt, func() {
 			b.txDone = append(b.txDone, h)
 			if b.NotifyHost != nil && len(b.txDone) >= b.coalesce() {
-				b.NotifyHost()
+				b.notify(b.NotifyHost)
 			}
 		})
 	}
@@ -115,7 +115,7 @@ func (b *NetBackend) drainTX() {
 func (b *NetBackend) receive(pkt []byte) {
 	b.rxArrived = append(b.rxArrived, pkt)
 	if b.NotifyHost != nil {
-		b.NotifyHost()
+		b.notify(b.NotifyHost)
 	}
 }
 

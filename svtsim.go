@@ -24,6 +24,7 @@ import (
 
 	"svtsim/internal/cost"
 	"svtsim/internal/exp"
+	"svtsim/internal/fault"
 	"svtsim/internal/guest"
 	"svtsim/internal/hv"
 	"svtsim/internal/machine"
@@ -179,6 +180,47 @@ type ChannelPoint = exp.ChannelPoint
 
 // ChannelStudy sweeps the SW SVt wait policies and placements (§6.1).
 func ChannelStudy(n int, workloads []Time) []ChannelPoint { return exp.ChannelStudy(n, workloads) }
+
+// --- Fault-injection plane ---------------------------------------------
+
+// FaultSpec configures the deterministic fault-injection plane: a seed
+// plus per-site drop/delay rules (see internal/fault for site names).
+type FaultSpec = fault.Spec
+
+// FaultSiteConfig is one fault site's injection rule.
+type FaultSiteConfig = fault.SiteConfig
+
+// Fault-injection site names.
+const (
+	FaultSiteSVtWakeup      = fault.SiteSVtWakeup
+	FaultSiteRingPush       = fault.SiteRingPush
+	FaultSiteRingPop        = fault.SiteRingPop
+	FaultSiteIRQ            = fault.SiteIRQ
+	FaultSiteIPI            = fault.SiteIPI
+	FaultSiteVirtioComplete = fault.SiteVirtioComplete
+	FaultSiteBlkComplete    = fault.SiteBlkComplete
+)
+
+// FaultSites lists every known injection site.
+func FaultSites() []string { return fault.Sites() }
+
+// ParseFaultSpec parses the CLI fault syntax
+// ("site:rate=0.1,drop;site:delay=20us") into a spec with the given seed.
+func ParseFaultSpec(arg string, seed int64) (*FaultSpec, error) { return fault.ParseSpec(arg, seed) }
+
+// SetFaults arms (or, with nil, clears) fault injection for all
+// subsequent experiment runs.
+func SetFaults(spec *FaultSpec) { exp.SetFaults(spec) }
+
+// FaultSweepResult is one fault-injection run's outcome and recovery
+// counters (watchdog fires, breaker trips, fallbacks).
+type FaultSweepResult = exp.FaultSweepResult
+
+// FaultSweep runs the nested cpuid workload with the given fault spec
+// armed and reports how the recovery machinery coped.
+func FaultSweep(mode Mode, spec *FaultSpec, n int) FaultSweepResult {
+	return exp.FaultSweep(mode, spec, n, nil)
+}
 
 // --- Report layer: paper-formatted output ------------------------------
 
