@@ -9,6 +9,7 @@ package svtsim
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -265,25 +266,11 @@ func BenchmarkAblationNoShadowing(b *testing.B) {
 // context-switch thunk moves ("dozens of registers", §1).
 func BenchmarkAblationThunkRegs(b *testing.B) {
 	for _, regs := range []int{8, 15, 30, 60} {
-		b.Run(itoa(regs), func(b *testing.B) {
+		b.Run(strconv.Itoa(regs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := CPUIDNestedWithThunkRegs(Baseline, regs, 300)
 				b.ReportMetric(r.PerOp.Microseconds(), "virt-us/cpuid")
 			}
 		})
 	}
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for n > 0 {
-		i--
-		buf[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(buf[i:])
 }

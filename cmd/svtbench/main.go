@@ -5,81 +5,108 @@
 //
 //	svtbench -all            regenerate everything (full-length runs)
 //	svtbench -all -quick     regenerate everything with shortened runs
+//	svtbench -all -parallel=4  fan independent experiment cells out to 4 workers
 //	svtbench -table 1        one table (1, 3 or 4)
 //	svtbench -figure 7       one figure (6–10)
 //	svtbench -micro channels the §6.1 communication-channel study
 //	svtbench -profile        the §6.2/§6.3 exit-reason profiles
+//	svtbench -bench -o BENCH_2026-08-06.json  record the perf-regression baseline
+//
+// Experiment cells are independent (each owns its engine and RNG
+// streams), so -parallel=N changes wall-clock time only: the output is
+// byte-identical for every N.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"svtsim"
+	"svtsim/internal/parallel"
 )
+
+// section is one independently renderable chunk of -all output.
+type section struct {
+	name string
+	run  func(io.Writer)
+}
+
+// sections assembles the selected report sections in presentation order.
+func sections(all bool, table, figure int, micro string, profile bool, n int, quick bool, root string) []section {
+	var secs []section
+	add := func(sel bool, name string, run func(io.Writer)) {
+		if sel {
+			secs = append(secs, section{name: name, run: run})
+		}
+	}
+	add(all || table == 1, "table1", func(w io.Writer) { svtsim.ReportTable1(w, n) })
+	add(all || table == 3, "table3", func(w io.Writer) { svtsim.ReportTable3(w, root) })
+	add(all || table == 4, "table4", func(w io.Writer) { svtsim.ReportTable4(w) })
+	add(all || figure == 6, "figure6", func(w io.Writer) { svtsim.ReportFigure6(w, n) })
+	add(all || figure == 7, "figure7", func(w io.Writer) { svtsim.ReportFigure7(w, quick) })
+	add(all || figure == 8, "figure8", func(w io.Writer) { svtsim.ReportFigure8(w, quick) })
+	add(all || figure == 9, "figure9", func(w io.Writer) { svtsim.ReportFigure9(w, quick) })
+	add(all || figure == 10, "figure10", func(w io.Writer) { svtsim.ReportFigure10(w, quick) })
+	add(all || micro == "channels", "channels", func(w io.Writer) { svtsim.ReportChannels(w, quick) })
+	add(all || profile, "profiles", func(w io.Writer) { svtsim.ReportProfiles(w) })
+	return secs
+}
+
+// renderAll renders every section concurrently into its own buffer on the
+// worker pool, then writes the buffers in presentation order. Sections
+// themselves fan their cells out on the same pool, so small sections do
+// not serialize behind big ones.
+func renderAll(w io.Writer, secs []section) {
+	bufs := parallel.Map(len(secs), func(i int) []byte {
+		var b bytes.Buffer
+		secs[i].run(&b)
+		return b.Bytes()
+	})
+	for _, b := range bufs {
+		w.Write(b)
+	}
+}
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		quick   = flag.Bool("quick", false, "shortened runs")
-		table   = flag.Int("table", 0, "regenerate one table (1, 3, 4)")
-		figure  = flag.Int("figure", 0, "regenerate one figure (6-10)")
-		micro   = flag.String("micro", "", "micro study to run (channels)")
-		profile = flag.Bool("profile", false, "exit-reason profiles (6.2/6.3)")
-		root    = flag.String("root", ".", "repository root (for Table 3 line counts)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		quick    = flag.Bool("quick", false, "shortened runs")
+		table    = flag.Int("table", 0, "regenerate one table (1, 3, 4)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (6-10)")
+		micro    = flag.String("micro", "", "micro study to run (channels)")
+		profile  = flag.Bool("profile", false, "exit-reason profiles (6.2/6.3)")
+		root     = flag.String("root", ".", "repository root (for Table 3 line counts)")
+		workers  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for independent experiment cells (1 = serial)")
+		bench    = flag.Bool("bench", false, "run the perf-regression benchmark suite")
+		benchOut = flag.String("o", "", "write -bench results as JSON to this file (default BENCH_<date>.json)")
 	)
 	flag.Parse()
+
+	parallel.SetWorkers(*workers)
 
 	w := os.Stdout
 	n := 2000
 	if *quick {
 		n = 400
 	}
-	ran := false
-	if *all || *table == 1 {
-		svtsim.ReportTable1(w, n)
-		ran = true
+
+	if *bench {
+		if err := runBench(w, *benchOut, *quick, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
-	if *all || *table == 3 {
-		svtsim.ReportTable3(w, *root)
-		ran = true
-	}
-	if *all || *table == 4 {
-		svtsim.ReportTable4(w)
-		ran = true
-	}
-	if *all || *figure == 6 {
-		svtsim.ReportFigure6(w, n)
-		ran = true
-	}
-	if *all || *figure == 7 {
-		svtsim.ReportFigure7(w, *quick)
-		ran = true
-	}
-	if *all || *figure == 8 {
-		svtsim.ReportFigure8(w, *quick)
-		ran = true
-	}
-	if *all || *figure == 9 {
-		svtsim.ReportFigure9(w, *quick)
-		ran = true
-	}
-	if *all || *figure == 10 {
-		svtsim.ReportFigure10(w, *quick)
-		ran = true
-	}
-	if *all || *micro == "channels" {
-		svtsim.ReportChannels(w, *quick)
-		ran = true
-	}
-	if *all || *profile {
-		svtsim.ReportProfiles(w)
-		ran = true
-	}
-	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; try -all, -table N, -figure N, -micro channels or -profile")
+
+	secs := sections(*all, *table, *figure, *micro, *profile, n, *quick, *root)
+	if len(secs) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing selected; try -all, -table N, -figure N, -micro channels, -profile or -bench")
 		flag.Usage()
 		os.Exit(2)
 	}
+	renderAll(w, secs)
 }

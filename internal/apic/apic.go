@@ -31,7 +31,7 @@ type LAPIC struct {
 	pending  [256]bool
 	npending int
 
-	deadlineEv *sim.Event
+	deadlineEv sim.EventRef
 	timerFired uint64
 	delivered  uint64
 	dropped    uint64
@@ -136,22 +136,20 @@ func (l *LAPIC) Ack(vec int) bool {
 // timer, and re-arming replaces the previous deadline — both as the
 // architecture specifies for IA32_TSC_DEADLINE.
 func (l *LAPIC) SetTSCDeadline(t sim.Time) {
-	if l.deadlineEv != nil {
-		l.eng.Cancel(l.deadlineEv)
-		l.deadlineEv = nil
-	}
+	l.eng.Cancel(l.deadlineEv)
+	l.deadlineEv = sim.EventRef{}
 	if t == 0 {
 		return
 	}
 	l.deadlineEv = l.eng.At(t, func() {
-		l.deadlineEv = nil
+		l.deadlineEv = sim.EventRef{}
 		l.timerFired++
 		l.Deliver(VecTimer)
 	})
 }
 
 // TimerArmed reports whether a deadline is pending.
-func (l *LAPIC) TimerArmed() bool { return l.deadlineEv != nil && l.deadlineEv.Pending() }
+func (l *LAPIC) TimerArmed() bool { return l.deadlineEv.Pending() }
 
 // TimerFired reports how many deadline interrupts have fired.
 func (l *LAPIC) TimerFired() uint64 { return l.timerFired }

@@ -5,6 +5,7 @@ import (
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
 	"svtsim/internal/machine"
+	"svtsim/internal/parallel"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
 )
@@ -44,27 +45,29 @@ func (g *computeCpuidLoop) DeliverIRQ(int) {}
 
 // ChannelStudy sweeps the SW SVt channel configurations of §6.1: polling,
 // mwait and mutex waiters at SMT, cross-core and cross-NUMA placements,
-// across workload sizes.
+// across workload sizes. The cells are independent machines, so the sweep
+// fans out on the worker pool; the result order is the cross-product
+// order regardless of pool width.
 func ChannelStudy(n int, workloads []sim.Time) []ChannelPoint {
-	var out []ChannelPoint
-	for _, pol := range []swsvt.Policy{swsvt.PolicyPoll, swsvt.PolicyMwait, swsvt.PolicyMutex} {
-		for _, place := range []swsvt.Placement{swsvt.PlaceSMT, swsvt.PlaceCrossCore, swsvt.PlaceCrossNUMA} {
-			for _, wl := range workloads {
-				cfg := config(hv.ModeSWSVt)
-				cfg.WaitPolicy = pol
-				cfg.Placement = place
-				m := machine.NewNested(cfg)
-				m.SetL2Workload(&computeCpuidLoop{n: n, compute: wl})
-				run(m)
-				m.Shutdown()
-				out = append(out, ChannelPoint{
-					Policy:    pol,
-					Placement: place,
-					Workload:  wl,
-					PerOp:     m.Now() / sim.Time(n),
-				})
-			}
+	policies := []swsvt.Policy{swsvt.PolicyPoll, swsvt.PolicyMwait, swsvt.PolicyMutex}
+	places := []swsvt.Placement{swsvt.PlaceSMT, swsvt.PlaceCrossCore, swsvt.PlaceCrossNUMA}
+	cells := len(policies) * len(places) * len(workloads)
+	return parallel.Map(cells, func(i int) ChannelPoint {
+		pol := policies[i/(len(places)*len(workloads))]
+		place := places[i/len(workloads)%len(places)]
+		wl := workloads[i%len(workloads)]
+		cfg := config(hv.ModeSWSVt)
+		cfg.WaitPolicy = pol
+		cfg.Placement = place
+		m := machine.NewNested(cfg)
+		m.SetL2Workload(&computeCpuidLoop{n: n, compute: wl})
+		run(m)
+		m.Shutdown()
+		return ChannelPoint{
+			Policy:    pol,
+			Placement: place,
+			Workload:  wl,
+			PerOp:     m.Now() / sim.Time(n),
 		}
-	}
-	return out
+	})
 }

@@ -135,6 +135,15 @@ func netMachine(mode hv.Mode) (*machine.Machine, *machine.IOStack) {
 // NetLatency runs netperf TCP_RR (Figure 7 "Network latency"): n 1-byte
 // transactions against an echoing peer.
 func NetLatency(mode hv.Mode, n int) IOResult {
+	r, _, _ := NetLatencyEvents(mode, n)
+	return r
+}
+
+// NetLatencyEvents is NetLatency plus simulator-side throughput counters:
+// the engine events dispatched and the virtual time covered. The perf
+// baseline (svtbench -bench) divides events by wall clock to track
+// simulated events/sec across commits.
+func NetLatencyEvents(mode hv.Mode, n int) (IOResult, uint64, sim.Time) {
 	m, io := netMachine(mode)
 	io.NIC.Peer = &netsim.EchoPeer{
 		Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
@@ -145,7 +154,8 @@ func NetLatency(mode hv.Mode, n int) IOResult {
 	run(m)
 	m.Shutdown()
 	s, _ := stats.Summarize(w.Lat)
-	return IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
+	r := IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
+	return r, m.Eng.Dispatched(), m.Now()
 }
 
 // NetBandwidth runs netperf TCP_STREAM (Figure 7 "Network bandwidth"):

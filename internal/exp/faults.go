@@ -7,6 +7,7 @@ import (
 	"svtsim/internal/fault"
 	"svtsim/internal/hv"
 	"svtsim/internal/machine"
+	"svtsim/internal/parallel"
 	"svtsim/internal/sim"
 )
 
@@ -134,4 +135,22 @@ func FaultSweep(mode hv.Mode, spec *fault.Spec, n int, mutate func(*machine.Mach
 		}
 	}
 	return r
+}
+
+// FaultCell is one independent fault-sweep run.
+type FaultCell struct {
+	Mode hv.Mode
+	Spec *fault.Spec
+	N    int
+}
+
+// FaultSweepGrid runs every cell on the parallel worker pool and returns
+// results in cell order. Each cell assembles its own machine with its own
+// seeded fault plane, so the grid is byte-identical to running the cells
+// serially (pinned by TestFaultSweepGridParallelDeterminism).
+func FaultSweepGrid(cells []FaultCell) []FaultSweepResult {
+	return parallel.Map(len(cells), func(i int) FaultSweepResult {
+		c := cells[i]
+		return FaultSweep(c.Mode, c.Spec, c.N, nil)
+	})
 }

@@ -5,6 +5,7 @@ import (
 
 	"svtsim/internal/fault"
 	"svtsim/internal/hv"
+	"svtsim/internal/parallel"
 	"svtsim/internal/sim"
 )
 
@@ -148,5 +149,43 @@ func TestFaultSweepDelayedIRQs(t *testing.T) {
 	h := DiskLatency(hv.ModeSWSVt, false, 50)
 	if r.MeanUs <= h.MeanUs {
 		t.Fatalf("delayed IRQs did not slow disk reads: %0.1fus <= %0.1fus", r.MeanUs, h.MeanUs)
+	}
+}
+
+// TestFaultSweepGridParallelDeterminism: the grid harness must produce
+// byte-identical stats lines whether cells run serially or fanned out —
+// each cell owns its machine and seeded fault plane, and results are
+// ordered by cell index.
+func TestFaultSweepGridParallelDeterminism(t *testing.T) {
+	mkCells := func() []FaultCell {
+		var cells []FaultCell
+		for _, rate := range []float64{0, 0.05, 0.30} {
+			var spec *fault.Spec
+			if rate > 0 {
+				spec = &fault.Spec{
+					Seed: 42,
+					Sites: []fault.SiteConfig{
+						{Site: fault.SiteSVtWakeup, Rate: rate, Drop: true},
+						{Site: fault.SiteIPI, Rate: rate, Drop: true},
+					},
+				}
+			}
+			cells = append(cells, FaultCell{Mode: hv.ModeSWSVt, Spec: spec, N: 200})
+		}
+		return cells
+	}
+	defer parallel.SetWorkers(0)
+	parallel.SetWorkers(1)
+	serial := FaultSweepGrid(mkCells())
+	parallel.SetWorkers(8)
+	par := FaultSweepGrid(mkCells())
+	if len(serial) != len(par) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].StatsLine() != par[i].StatsLine() {
+			t.Fatalf("cell %d diverged:\nserial:   %s\nparallel: %s",
+				i, serial[i].StatsLine(), par[i].StatsLine())
+		}
 	}
 }

@@ -204,7 +204,7 @@ func TestParseSpecRoundTrip(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	for _, bad := range []string{
-		"nosuch/site:rate=0.1,drop", // unknown site
+		"nosuch/site:rate=0.1,drop",  // unknown site
 		"swsvt/wakeup:rate=1.5,drop", // rate out of range
 		"swsvt/wakeup:frob=1",        // unknown key
 		"swsvt/wakeup:rate=0.1",      // no effect

@@ -70,7 +70,7 @@ type RealPlatform struct {
 	// HostLAPIC is the physical LAPIC of the context L0 code runs on
 	// (context 0; under SVt all external interrupts are redirected here).
 	HostLAPIC func() hasPending
-	timers    map[cpu.ContextID]*sim.Event
+	timers    map[cpu.ContextID]sim.EventRef
 	// TimerOwner records, per context, which vCPU armed the platform
 	// timer so the firing can be routed (KVM's hrtimer bookkeeping).
 	TimerOwner map[cpu.ContextID]*VCPU
@@ -82,7 +82,7 @@ type hasPending interface{ HasPending() bool }
 func NewRealPlatform(c *cpu.Core) *RealPlatform {
 	return &RealPlatform{
 		Core:       c,
-		timers:     make(map[cpu.ContextID]*sim.Event),
+		timers:     make(map[cpu.ContextID]sim.EventRef),
 		TimerOwner: make(map[cpu.ContextID]*VCPU),
 	}
 }
@@ -152,7 +152,7 @@ func (p *RealPlatform) WriteGuestGPR(vc *VCPU, r isa.Reg, val uint64) {
 // timer vector on the context's physical LAPIC.
 func (p *RealPlatform) SetTimer(vc *VCPU, deadline sim.Time) {
 	ctx := vc.Ctx
-	if ev := p.timers[ctx]; ev != nil {
+	if ev, ok := p.timers[ctx]; ok {
 		p.Core.Eng.Cancel(ev)
 		delete(p.timers, ctx)
 	}

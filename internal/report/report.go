@@ -14,9 +14,16 @@ import (
 	"svtsim/internal/exp"
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
+	"svtsim/internal/parallel"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
 )
+
+// Every figure below computes its experiment cells through the parallel
+// worker pool and only then renders them in presentation order: each cell
+// owns its own engine and RNG streams, so the output is byte-identical to
+// a serial run regardless of the pool width (pinned by the tests in
+// parallel_test.go).
 
 // Paper-published reference numbers.
 var (
@@ -109,11 +116,21 @@ func Table4(w io.Writer) {
 // Figure6 renders the cpuid latency bars.
 func Figure6(w io.Writer, n int) {
 	hr(w, "Figure 6: execution time of a cpuid instruction")
-	l0 := exp.CPUIDNative(n)
-	l1 := exp.CPUIDSingleLevel(n)
-	l2 := exp.CPUIDNested(hv.ModeBaseline, n)
-	sw := exp.CPUIDNested(hv.ModeSWSVt, n)
-	hw := exp.CPUIDNested(hv.ModeHWSVt, n)
+	cells := parallel.Map(5, func(i int) exp.CPUIDResult {
+		switch i {
+		case 0:
+			return exp.CPUIDNative(n)
+		case 1:
+			return exp.CPUIDSingleLevel(n)
+		case 2:
+			return exp.CPUIDNested(hv.ModeBaseline, n)
+		case 3:
+			return exp.CPUIDNested(hv.ModeSWSVt, n)
+		default:
+			return exp.CPUIDNested(hv.ModeHWSVt, n)
+		}
+	})
+	l0, l1, l2, sw, hw := cells[0], cells[1], cells[2], cells[3], cells[4]
 	base := l2.PerOp.Microseconds()
 	fmt.Fprintf(w, "%-8s %10s %10s | %s\n", "system", "us", "speedup", "paper")
 	row := func(r exp.CPUIDResult, paper string) {
@@ -164,17 +181,27 @@ func Figure7(w io.Writer, quick bool) {
 			return exp.DiskBandwidth(m, true, nBW).KBs, "KB/s", true
 		}, "base 55769KB/s, SW 1.18x, HW 2.60x"},
 	}
-	for _, b := range benches {
-		base, unit, higher := b.run(hv.ModeBaseline)
-		swv, _, _ := b.run(hv.ModeSWSVt)
-		hwv, _, _ := b.run(hv.ModeHWSVt)
+	modes := []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt}
+	type cell struct {
+		val    float64
+		unit   string
+		higher bool
+	}
+	grid := parallel.Map(len(benches)*len(modes), func(i int) cell {
+		v, u, h := benches[i/len(modes)].run(modes[i%len(modes)])
+		return cell{val: v, unit: u, higher: h}
+	})
+	for bi, b := range benches {
+		base := grid[bi*len(modes)]
+		swv := grid[bi*len(modes)+1].val
+		hwv := grid[bi*len(modes)+2].val
 		spd := func(x float64) float64 {
-			if higher {
-				return x / base
+			if base.higher {
+				return x / base.val
 			}
-			return base / x
+			return base.val / x
 		}
-		fmt.Fprintf(w, "%-22s base %9.1f %-5s SW SVt %.2fx  HW SVt %.2fx\n", b.name, base, unit, spd(swv), spd(hwv))
+		fmt.Fprintf(w, "%-22s base %9.1f %-5s SW SVt %.2fx  HW SVt %.2fx\n", b.name, base.val, base.unit, spd(swv), spd(hwv))
 		fmt.Fprintf(w, "%-22s paper: %s\n", "", b.paper)
 	}
 }
@@ -190,9 +217,16 @@ func Figure8(w io.Writer, quick bool) {
 	}
 	fmt.Fprintf(w, "%-10s | %-26s | %-26s\n", "load", "baseline", "SW SVt")
 	fmt.Fprintf(w, "%-10s | %12s %12s | %12s %12s\n", "(q/s)", "avg(us)", "p99(us)", "avg(us)", "p99(us)")
-	for _, r := range rates {
-		b := exp.Memcached(hv.ModeBaseline, r, d)
-		s := exp.Memcached(hv.ModeSWSVt, r, d)
+	grid := parallel.Map(len(rates)*2, func(i int) exp.MemcachedResult {
+		mode := hv.ModeBaseline
+		if i%2 == 1 {
+			mode = hv.ModeSWSVt
+		}
+		return exp.Memcached(mode, rates[i/2], d)
+	})
+	for ri, r := range rates {
+		b := grid[ri*2]
+		s := grid[ri*2+1]
 		mark := func(p99 float64) string {
 			if p99 > 500 {
 				return "*"
@@ -212,8 +246,13 @@ func Figure9(w io.Writer, quick bool) {
 	if quick {
 		d = 400 * sim.Millisecond
 	}
-	base := exp.TPCC(hv.ModeBaseline, d)
-	svt := exp.TPCC(hv.ModeSWSVt, d)
+	cells := parallel.Map(2, func(i int) float64 {
+		if i == 0 {
+			return exp.TPCC(hv.ModeBaseline, d)
+		}
+		return exp.TPCC(hv.ModeSWSVt, d)
+	})
+	base, svt := cells[0], cells[1]
 	fmt.Fprintf(w, "Baseline  %6.2f ktpm\n", base)
 	fmt.Fprintf(w, "SVt       %6.2f ktpm   speedup %.2fx\n", svt, svt/base)
 	fmt.Fprintln(w, "paper: baseline 6.37 ktpm, speedup 1.18x")
@@ -228,9 +267,18 @@ func Figure10(w io.Writer, quick bool) {
 	}
 	fmt.Fprintf(w, "%-8s %10s %10s %10s | %s\n", "FPS", "baseline", "SW SVt", "ratio", "paper")
 	paper := map[int]string{24: "0 / 0", 60: "3 / 0", 120: "40 / 0.65x"}
-	for _, fps := range []int{24, 60, 120} {
-		b := exp.VideoN(hv.ModeBaseline, fps, frames(fps))
-		s := exp.VideoN(hv.ModeSWSVt, fps, frames(fps))
+	fpss := []int{24, 60, 120}
+	grid := parallel.Map(len(fpss)*2, func(i int) exp.VideoResult {
+		mode := hv.ModeBaseline
+		if i%2 == 1 {
+			mode = hv.ModeSWSVt
+		}
+		fps := fpss[i/2]
+		return exp.VideoN(mode, fps, frames(fps))
+	})
+	for fi, fps := range fpss {
+		b := grid[fi*2]
+		s := grid[fi*2+1]
 		ratio := "-"
 		if b.Dropped > 0 {
 			ratio = fmt.Sprintf("%.2fx", float64(s.Dropped)/float64(b.Dropped))

@@ -1,62 +1,83 @@
 package sim
 
-import "container/heap"
+// This file implements the simulator's hot path: a deterministic
+// discrete-event engine whose steady-state schedule/fire/cancel cycle
+// performs zero heap allocations.
+//
+// Events live in an engine-owned arena (fixed-size slabs, so addresses
+// are stable) and are recycled through an intrusive free-list: firing or
+// canceling an event releases its closure and returns the slot to the
+// list, and the next At/After reuses it. The priority queue is a
+// monomorphic 4-ary min-heap of slot pointers ordered by (time, seq) —
+// the exact total order the previous container/heap implementation used —
+// so dispatch order, and therefore every simulation result, is
+// bit-identical to the interface-based engine it replaced. 4-ary beats
+// binary here because sift-down does one compare-heavy level for every
+// two a binary heap needs, and the four children share a cache line.
+//
+// Callers hold EventRef value handles, not slot pointers. Each slot
+// carries a generation counter that is bumped on release; a ref snapshots
+// the generation at schedule time, so a stale handle to a recycled slot
+// is inert: Pending reports false and Cancel is a no-op, even when the
+// slot has been reused for an unrelated event.
 
-// Event is a scheduled callback. Events fire in (time, scheduling order)
-// order, which keeps simulations deterministic even when many events share
-// a timestamp.
-type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // heap index, -1 when not queued
-	engine *Engine
+// slabSize is the number of event slots allocated at once when the
+// free-list runs dry. Steady-state runs never outgrow their first few
+// slabs, so scheduling stops allocating after warm-up.
+const slabSize = 256
+
+// event is one arena slot. Slots are owned by their engine for its whole
+// lifetime and recycled through the free-list; the fn closure is released
+// (nilled) the moment the event fires or is canceled, so a retained
+// EventRef pins only the arena slot, never the callback's captures.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int32 // heap index, -1 when not queued
+	gen   uint32
+	next  *event // free-list link
+	eng   *Engine
 }
 
-// At reports the virtual time the event is scheduled for.
-func (ev *Event) At() Time { return ev.at }
+// EventRef is a cheap, copyable handle to a scheduled event. The zero
+// value refers to no event: Pending reports false and Cancel is a no-op.
+// Handles stay safe after the event fires — the slot's generation moves
+// on, leaving the ref stale rather than dangling.
+type EventRef struct {
+	ev  *event
+	gen uint32
+}
+
+// At reports the virtual time the event is scheduled for, or 0 if the
+// event already fired or was canceled.
+func (r EventRef) At() Time {
+	if !r.Pending() {
+		return 0
+	}
+	return r.ev.at
+}
 
 // Pending reports whether the event is still queued.
-func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+func (r EventRef) Pending() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.index >= 0
 }
 
 // Engine is a deterministic discrete-event engine with a virtual clock.
 // The zero value is not usable; construct with New.
 type Engine struct {
 	now        Time
-	queue      eventHeap
+	queue      []*event // 4-ary min-heap by (at, seq)
 	seq        uint64
 	dispatched uint64
 	wakeEpoch  uint64
 	ledger     *Ledger
+
+	// Event arena: slots are carved from fixed slabs (stable addresses)
+	// and recycled through the free-list.
+	free     *event
+	slab     []event
+	slabUsed int
 
 	// Fault-injection plane (nil = healthy run, zero overhead).
 	faults FaultInjector
@@ -103,33 +124,69 @@ func (e *Engine) Advance(d Time) {
 	}
 }
 
-// At schedules fn to run at absolute virtual time t. Times in the past are
-// clamped to "now" (they fire at the next dispatch point).
-func (e *Engine) At(t Time, fn func()) *Event {
-	if t < e.now {
-		t = e.now
+// alloc takes a slot from the free-list, or carves one from the current
+// slab (growing the arena only when the queue reaches a new high-water
+// mark).
+func (e *Engine) alloc() *event {
+	if ev := e.free; ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		return ev
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	if e.slabUsed == len(e.slab) {
+		e.slab = make([]event, slabSize)
+		e.slabUsed = 0
+	}
+	ev := &e.slab[e.slabUsed]
+	e.slabUsed++
+	ev.eng = e
 	return ev
 }
 
+// release recycles a fired or canceled slot: the closure is dropped so
+// its captures become collectable, and the generation bump invalidates
+// every outstanding ref to the old event.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.next = e.free
+	e.free = ev
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the past are
+// clamped to "now" (they fire at the next dispatch point).
+func (e *Engine) At(t Time, fn func()) EventRef {
+	if t < e.now {
+		t = e.now
+	}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	e.heapPush(ev)
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) EventRef {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event; canceling a fired or already-canceled
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 || ev.engine != e {
+// Cancel removes a pending event; canceling a fired, already-canceled or
+// zero ref is a no-op, as is canceling a ref from another engine. A stale
+// ref whose slot was recycled fails the generation check and never
+// touches the slot's new occupant.
+func (e *Engine) Cancel(r EventRef) {
+	ev := r.ev
+	if ev == nil || ev.eng != e || ev.gen != r.gen || ev.index < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	e.heapRemove(int(ev.index))
+	e.release(ev)
 }
 
 // PendingEvents reports the number of queued events.
@@ -149,11 +206,15 @@ func (e *Engine) NextEventTime() (Time, bool) {
 func (e *Engine) DispatchDue() int {
 	n := 0
 	for len(e.queue) > 0 && e.queue[0].at <= e.now {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := e.heapPopMin()
+		fn := ev.fn
+		// Recycle before running: the callback may schedule follow-up
+		// events straight into the slot it just vacated.
+		e.release(ev)
 		e.dispatched++
 		n++
 		e.noteDispatch()
-		ev.fn()
+		fn()
 	}
 	return n
 }
@@ -194,4 +255,101 @@ func (e *Engine) Drain(maxEvents uint64) bool {
 		e.Step()
 	}
 	return true
+}
+
+// --- 4-ary min-heap over arena slots -----------------------------------
+//
+// The ordering predicate is (at, seq): seq is unique per engine, so the
+// order is total and dispatch is FIFO within a timestamp — the invariant
+// every determinism guarantee in this codebase rests on.
+
+func eventLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+func (e *Engine) heapPush(ev *event) {
+	e.queue = append(e.queue, ev)
+	ev.index = int32(len(e.queue) - 1)
+	e.siftUp(len(e.queue) - 1)
+}
+
+func (e *Engine) heapPopMin() *event {
+	q := e.queue
+	min := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		q[0] = last
+		last.index = 0
+		e.siftDown(0)
+	}
+	min.index = -1
+	return min
+}
+
+// heapRemove removes the slot at heap position i (Cancel's workhorse).
+func (e *Engine) heapRemove(i int) {
+	q := e.queue
+	ev := q[i]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if i < n {
+		q[i] = last
+		last.index = int32(i)
+		e.siftDown(i)
+		if q[i] == last {
+			e.siftUp(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(ev, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = int32(i)
+		i = p
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(q[c], q[m]) {
+				m = c
+			}
+		}
+		if !eventLess(q[m], ev) {
+			break
+		}
+		q[i] = q[m]
+		q[i].index = int32(i)
+		i = m
+	}
+	q[i] = ev
+	ev.index = int32(i)
 }

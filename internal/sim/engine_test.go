@@ -293,3 +293,183 @@ func TestSplitRandIndependence(t *testing.T) {
 		t.Fatal("split streams are identical")
 	}
 }
+
+// --- Arena / free-list / generation-counter behaviour -------------------
+
+// TestStaleRefAfterFire: once an event fires, the caller's handle must go
+// stale — Pending false, At zero — even though the slot is recycled.
+func TestStaleRefAfterFire(t *testing.T) {
+	e := New()
+	ev := e.At(10, func() {})
+	e.RunUntil(20)
+	if ev.Pending() {
+		t.Fatal("fired event still pending via stale ref")
+	}
+	if ev.At() != 0 {
+		t.Fatalf("stale ref At = %v, want 0", ev.At())
+	}
+}
+
+// TestStaleCancelDoesNotKillRecycledSlot is the generation-counter
+// contract: a handle to a fired event must not cancel the unrelated event
+// that now occupies the recycled slot.
+func TestStaleCancelDoesNotKillRecycledSlot(t *testing.T) {
+	e := New()
+	stale := e.At(10, func() {})
+	e.RunUntil(10) // fires; slot goes to the free-list
+	fired := false
+	fresh := e.At(20, func() { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("expected slot reuse (free-list broken?): %p vs %p", fresh.ev, stale.ev)
+	}
+	e.Cancel(stale) // stale generation: must be a no-op
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel killed the recycled slot's new event")
+	}
+	if stale.Pending() {
+		t.Fatal("stale ref reports pending for the slot's new occupant")
+	}
+	e.RunUntil(30)
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestFiredEventReleasesClosure: dispatch must drop the fn reference so
+// the closure's captures become collectable even while handles persist.
+func TestFiredEventReleasesClosure(t *testing.T) {
+	e := New()
+	ev := e.At(5, func() {})
+	e.RunUntil(5)
+	if ev.ev.fn != nil {
+		t.Fatal("fired event still holds its closure")
+	}
+	ev2 := e.At(7, func() {})
+	e.Cancel(ev2)
+	if ev2.ev.fn != nil {
+		t.Fatal("canceled event still holds its closure")
+	}
+}
+
+// TestCancelZeroRef: the zero EventRef is inert.
+func TestCancelZeroRef(t *testing.T) {
+	e := New()
+	var zero EventRef
+	if zero.Pending() {
+		t.Fatal("zero ref pending")
+	}
+	e.Cancel(zero) // must not panic
+}
+
+// TestArenaRecycling: a long steady-state run must not grow the arena
+// beyond its high-water mark.
+func TestArenaRecycling(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 10*slabSize; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+	if e.PendingEvents() != 0 {
+		t.Fatalf("pending = %d, want 0", e.PendingEvents())
+	}
+	// Queue depth never exceeded 1, so a single slab suffices.
+	if e.slabUsed > 1 || len(e.slab) != slabSize {
+		t.Fatalf("arena grew beyond one slot: used %d of %d", e.slabUsed, len(e.slab))
+	}
+}
+
+// --- Golden dispatch-order test -----------------------------------------
+
+// refEvent is the reference model: a plain sorted-on-dispatch list with
+// the documented (time, seq) FIFO total order.
+type refEvent struct {
+	at   Time
+	seq  uint64
+	id   int
+	dead bool
+}
+
+// TestDispatchOrderGolden drives a seeded schedule/cancel/advance workload
+// through the engine and through a brute-force reference model and demands
+// identical dispatch sequences, then pins the sequence's fingerprint so a
+// future engine change that alters the total order (even one matching the
+// reference model after a semantics tweak) fails loudly.
+func TestDispatchOrderGolden(t *testing.T) {
+	e := New()
+	r := NewRand(12345)
+	var ref []refEvent
+	var refsByID []EventRef
+	var engineOrder, refOrder []int
+	id := 0
+	seq := uint64(0)
+
+	dispatchRefDue := func(now Time) {
+		for {
+			best := -1
+			for i := range ref {
+				if ref[i].dead || ref[i].at > now {
+					continue
+				}
+				if best == -1 || ref[i].at < ref[best].at ||
+					(ref[i].at == ref[best].at && ref[i].seq < ref[best].seq) {
+					best = i
+				}
+			}
+			if best == -1 {
+				return
+			}
+			ref[best].dead = true
+			refOrder = append(refOrder, ref[best].id)
+		}
+	}
+
+	for round := 0; round < 400; round++ {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // schedule
+			at := e.Now() + Time(r.Intn(50))
+			myID := id
+			id++
+			refsByID = append(refsByID, e.At(at, func() { engineOrder = append(engineOrder, myID) }))
+			ref = append(ref, refEvent{at: at, seq: seq, id: myID})
+			seq++
+		case 6, 7: // cancel a random still-live event
+			if len(refsByID) == 0 {
+				continue
+			}
+			i := r.Intn(len(refsByID))
+			e.Cancel(refsByID[i])
+			for j := range ref {
+				if ref[j].id == i && !ref[j].dead && ref[j].at > e.Now() {
+					ref[j].dead = true
+				}
+			}
+		default: // advance and dispatch
+			e.Advance(Time(r.Intn(30)))
+			e.DispatchDue()
+			dispatchRefDue(e.Now())
+		}
+	}
+	e.Drain(1 << 20)
+	dispatchRefDue(1 << 60)
+
+	if len(engineOrder) != len(refOrder) {
+		t.Fatalf("dispatched %d events, reference model %d", len(engineOrder), len(refOrder))
+	}
+	for i := range engineOrder {
+		if engineOrder[i] != refOrder[i] {
+			t.Fatalf("dispatch order diverged from (time, seq) FIFO at %d: engine %d, ref %d",
+				i, engineOrder[i], refOrder[i])
+		}
+	}
+	// Golden fingerprint (FNV-1a over the dispatch sequence) pinned from
+	// the container/heap engine this implementation replaced.
+	h := uint64(14695981039346656037)
+	for _, v := range engineOrder {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	const golden = uint64(0x84fb1f022122a9fa)
+	if h != golden {
+		t.Fatalf("dispatch-sequence fingerprint %#x, want %#x (dispatch order changed!)", h, golden)
+	}
+}

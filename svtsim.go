@@ -28,10 +28,23 @@ import (
 	"svtsim/internal/guest"
 	"svtsim/internal/hv"
 	"svtsim/internal/machine"
+	"svtsim/internal/parallel"
 	"svtsim/internal/report"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
 )
+
+// --- Parallel experiment fan-out ---------------------------------------
+
+// SetParallelism sets the worker-pool width used by every experiment
+// sweep (figure mode sweeps, the channel study, fault-sweep grids) and by
+// svtbench's section fan-out. n <= 0 restores the default, GOMAXPROCS.
+// Each experiment cell owns its own engine and seeded RNG streams, so
+// results are byte-identical at any width; only wall-clock time changes.
+func SetParallelism(n int) { parallel.SetWorkers(n) }
+
+// Parallelism reports the effective worker-pool width.
+func Parallelism() int { return parallel.Workers() }
 
 // Mode selects the system variant under test.
 type Mode = hv.Mode
@@ -221,6 +234,14 @@ type FaultSweepResult = exp.FaultSweepResult
 func FaultSweep(mode Mode, spec *FaultSpec, n int) FaultSweepResult {
 	return exp.FaultSweep(mode, spec, n, nil)
 }
+
+// FaultCell is one independent fault-sweep run in a grid.
+type FaultCell = exp.FaultCell
+
+// FaultSweepGrid runs every cell on the parallel worker pool (see
+// SetParallelism) and returns results in cell order; the grid is
+// byte-identical to running the cells serially.
+func FaultSweepGrid(cells []FaultCell) []FaultSweepResult { return exp.FaultSweepGrid(cells) }
 
 // --- Report layer: paper-formatted output ------------------------------
 
