@@ -11,6 +11,7 @@
 //	svtbench -micro channels the §6.1 communication-channel study
 //	svtbench -profile        the §6.2/§6.3 exit-reason profiles
 //	svtbench -bench -o BENCH_2026-08-06.json  record the perf-regression baseline
+//	svtbench -trace trace.json  write a Perfetto timeline of a representative run
 //
 // Experiment cells are independent (each owns its engine and RNG
 // streams), so -parallel=N changes wall-clock time only: the output is
@@ -83,6 +84,7 @@ func main() {
 		workers  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for independent experiment cells (1 = serial)")
 		bench    = flag.Bool("bench", false, "run the perf-regression benchmark suite")
 		benchOut = flag.String("o", "", "write -bench results as JSON to this file (default BENCH_<date>.json)")
+		traceOut = flag.String("trace", "", "write a Perfetto timeline of a representative SW-SVt run to this file")
 	)
 	flag.Parse()
 
@@ -92,6 +94,16 @@ func main() {
 	n := 2000
 	if *quick {
 		n = 400
+	}
+
+	if *traceOut != "" {
+		if err := writeTraceArtifact(*traceOut, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*all && *table == 0 && *figure == 0 && *micro == "" && !*profile && !*bench {
+			return
+		}
 	}
 
 	if *bench {
@@ -104,9 +116,42 @@ func main() {
 
 	secs := sections(*all, *table, *figure, *micro, *profile, n, *quick, *root)
 	if len(secs) == 0 {
-		fmt.Fprintln(os.Stderr, "nothing selected; try -all, -table N, -figure N, -micro channels, -profile or -bench")
+		fmt.Fprintln(os.Stderr, "nothing selected; try -all, -table N, -figure N, -micro channels, -profile, -bench or -trace FILE")
 		flag.Usage()
 		os.Exit(2)
 	}
 	renderAll(w, secs)
+}
+
+// writeTraceArtifact runs one representative experiment — SW-SVt netperf
+// TCP_RR, the richest event mix (nested exits, ring traffic, IRQs,
+// virtio) — with the observability plane armed, and serializes the
+// timeline as Chrome trace-event JSON. The run itself is byte-identical
+// to an untraced one; only the artifact is extra.
+func writeTraceArtifact(path string, quick bool) error {
+	n := 500
+	if quick {
+		n = 100
+	}
+	svtsim.SetObs(&svtsim.ObsOptions{})
+	defer svtsim.SetObs(nil)
+	r := svtsim.NetLatency(svtsim.SWSVt, n)
+	plane := svtsim.LastObs()
+	if plane == nil {
+		return fmt.Errorf("svtbench: trace run captured no observability plane")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := plane.Tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: netperf TCP_RR (sw-svt, n=%d, mean %.1f us): %d events -> %s\n",
+		n, r.MeanUs, plane.Tracer.Total(), path)
+	return nil
 }

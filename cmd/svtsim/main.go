@@ -9,6 +9,14 @@
 //	svtsim -mode hw-svt   -workload diskrd -n 200
 //	svtsim -mode sw-svt   -workload tpcc -dur 1s
 //	svtsim -mode baseline -workload video -fps 120
+//
+// Observability: -trace out.json writes a Perfetto / chrome://tracing
+// timeline of the run (one track per hardware context), -metrics out.csv
+// dumps every registered counter, and -summary N prints a top-N
+// "where did the cycles go" table. None of these perturb the simulated
+// results.
+//
+//	svtsim -mode sw-svt -workload netrr -n 200 -trace out.json -metrics out.csv -summary 10
 package main
 
 import (
@@ -69,7 +77,11 @@ func main() {
 		dur       = flag.Duration("dur", time.Second, "duration (stream/memcached/tpcc)")
 		rate      = flag.Float64("rate", 10000, "offered load in requests/s (memcached)")
 		fps       = flag.Int("fps", 120, "frame rate (video)")
-		trace     = flag.Int("trace", 0, "dump the last N VM exits after a cpuid run")
+		trace     = flag.String("trace", "", "write a Perfetto/chrome://tracing JSON timeline of the run to this file")
+		metrics   = flag.String("metrics", "", "write the metrics registry to this file (.json extension selects JSON, CSV otherwise)")
+		summary   = flag.Int("summary", 0, "print the top-N trace span summary after the run")
+		obsRing   = flag.Int("obs-ring", 0, "per-track trace ring capacity (0 = default)")
+		dumpExits = flag.Int("dump-exits", 0, "dump the last N VM exits after a cpuid run")
 		faults    = flag.String("faults", "", "fault spec: site:key=val,...;... (sites: "+strings.Join(svtsim.FaultSites(), ", ")+")")
 		faultSeed = flag.Int64("fault-seed", 1, "fault plane RNG seed (replays are byte-identical per seed)")
 		faultRate = flag.Float64("fault-rate", 0, "shorthand: drop SW-SVt wakeups and IPIs at this probability")
@@ -88,14 +100,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fault plane armed: %s (seed %d)\n", spec, spec.Seed)
 		svtsim.SetFaults(spec)
 	}
+	if *trace != "" || *metrics != "" || *summary > 0 {
+		svtsim.SetObs(&svtsim.ObsOptions{RingCap: *obsRing})
+	}
 	d := svtsim.Time(dur.Nanoseconds())
 
 	switch *workload {
 	case "cpuid":
 		r := svtsim.CPUIDNested(mode, *n)
 		fmt.Printf("nested cpuid (%s): %v per instruction\n", mode, r.PerOp)
-		if *trace > 0 {
-			for _, e := range svtsim.TraceNestedCPUID(mode, *n, *trace) {
+		if *dumpExits > 0 {
+			for _, e := range svtsim.TraceNestedCPUID(mode, *n, *dumpExits) {
 				fmt.Println(" ", e.String())
 			}
 		}
@@ -124,5 +139,60 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
+	}
+
+	if *trace != "" || *metrics != "" || *summary > 0 {
+		writeObs(*trace, *metrics, *summary)
+	}
+}
+
+// writeObs exports the last run's observability plane.
+func writeObs(tracePath, metricsPath string, summary int) {
+	plane := svtsim.LastObs()
+	if plane == nil {
+		fmt.Fprintln(os.Stderr, "observability: no plane captured (workload did not run an instrumented machine)")
+		os.Exit(1)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "observability:", err)
+			os.Exit(1)
+		}
+		if err := plane.Tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "observability:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %d events to %s\n", plane.Tracer.Total(), tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "observability:", err)
+			os.Exit(1)
+		}
+		werr := error(nil)
+		if strings.HasSuffix(metricsPath, ".json") {
+			werr = plane.Metrics.WriteJSON(f)
+		} else {
+			werr = plane.Metrics.WriteCSV(f)
+		}
+		if werr == nil {
+			werr = f.Close()
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "observability:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: wrote %s\n", metricsPath)
+	}
+	if summary > 0 {
+		if err := plane.Tracer.WriteSummary(os.Stdout, summary); err != nil {
+			fmt.Fprintln(os.Stderr, "observability:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"svtsim/internal/fault"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 )
 
@@ -32,13 +33,36 @@ type LAPIC struct {
 	npending int
 
 	deadlineEv sim.EventRef
-	timerFired uint64
-	delivered  uint64
-	dropped    uint64
-	delayed    uint64
+	timerFired obs.Counter
+	delivered  obs.Counter
+	dropped    obs.Counter
+	delayed    obs.Counter
 	// OnDeliver, when set, is invoked after a vector becomes pending; the
 	// machine uses it to wake halted vCPUs.
 	OnDeliver func(vec int)
+
+	// obsT, when non-nil, receives a delivery instant per vector on the
+	// track this LAPIC belongs to.
+	obsT     *obs.Tracer
+	obsTrack int
+	obsLabel obs.Label
+}
+
+// SetObs attaches the observability tracer (nil detaches): deliveries
+// become instants on track, labelled with the LAPIC's display name.
+func (l *LAPIC) SetObs(t *obs.Tracer, track int, name string) {
+	l.obsT = t
+	l.obsTrack = track
+	l.obsLabel = t.Intern(name)
+}
+
+// Metrics registers this LAPIC's tallies under prefix (e.g.
+// "apic.ctx0") in the registry.
+func (l *LAPIC) Metrics(r *obs.Registry, prefix string) {
+	r.RegisterCounter(prefix+".timer_fired", &l.timerFired)
+	r.RegisterCounter(prefix+".delivered", &l.delivered)
+	r.RegisterCounter(prefix+".dropped", &l.dropped)
+	r.RegisterCounter(prefix+".delayed", &l.delayed)
 }
 
 // New returns a LAPIC bound to the engine.
@@ -62,11 +86,11 @@ func (l *LAPIC) Deliver(vec int) {
 		}
 		out := l.eng.Inject(site)
 		if out.Drop {
-			l.dropped++
+			l.dropped.Inc()
 			return
 		}
 		if out.Delay > 0 {
-			l.delayed++
+			l.delayed.Inc()
 			l.eng.After(out.Delay, func() { l.deliverNow(vec) })
 			return
 		}
@@ -97,7 +121,15 @@ func (l *LAPIC) deliverNow(vec int) {
 		l.pending[vec] = true
 		l.npending++
 	}
-	l.delivered++
+	l.delivered.Inc()
+	if l.obsT != nil && l.eng != nil {
+		kind := obs.KindIRQ
+		if vec == VecIPI {
+			kind = obs.KindIPI
+		}
+		l.obsT.Instant(l.obsTrack, kind, obs.LevelNone, l.obsLabel,
+			l.eng.Now(), uint64(vec), uint64(l.npending))
+	}
 	if l.OnDeliver != nil {
 		l.OnDeliver(vec)
 	}
@@ -143,7 +175,7 @@ func (l *LAPIC) SetTSCDeadline(t sim.Time) {
 	}
 	l.deadlineEv = l.eng.At(t, func() {
 		l.deadlineEv = sim.EventRef{}
-		l.timerFired++
+		l.timerFired.Inc()
 		l.Deliver(VecTimer)
 	})
 }
@@ -152,16 +184,16 @@ func (l *LAPIC) SetTSCDeadline(t sim.Time) {
 func (l *LAPIC) TimerArmed() bool { return l.deadlineEv.Pending() }
 
 // TimerFired reports how many deadline interrupts have fired.
-func (l *LAPIC) TimerFired() uint64 { return l.timerFired }
+func (l *LAPIC) TimerFired() uint64 { return l.timerFired.Value() }
 
 // Delivered reports the total vectors delivered (including collapsed ones).
-func (l *LAPIC) Delivered() uint64 { return l.delivered }
+func (l *LAPIC) Delivered() uint64 { return l.delivered.Value() }
 
 // Dropped reports vectors lost to injected faults.
-func (l *LAPIC) Dropped() uint64 { return l.dropped }
+func (l *LAPIC) Dropped() uint64 { return l.dropped.Value() }
 
 // Delayed reports vectors deferred by injected faults.
-func (l *LAPIC) Delayed() uint64 { return l.delayed }
+func (l *LAPIC) Delayed() uint64 { return l.delayed.Value() }
 
 // ProbeState dumps the IRR for stall/deadlock reports.
 func (l *LAPIC) ProbeState() string {
@@ -171,5 +203,5 @@ func (l *LAPIC) ProbeState() string {
 		top = fmt.Sprintf("%#02x", vec)
 	}
 	return fmt.Sprintf("pending=%d top=%s timer=%v delivered=%d dropped=%d delayed=%d",
-		l.npending, top, l.TimerArmed(), l.delivered, l.dropped, l.delayed)
+		l.npending, top, l.TimerArmed(), l.Delivered(), l.Dropped(), l.Delayed())
 }

@@ -10,6 +10,7 @@ import (
 
 	"svtsim/internal/fault"
 	"svtsim/internal/mem"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 )
 
@@ -38,6 +39,19 @@ type Disk struct {
 	// Faulted counts requests perturbed by the fault plane (dropped
 	// completions surfaced as errors, or delayed completions).
 	Faulted uint64
+
+	// obsT, when non-nil, receives one span per serviced request on
+	// obsTrack (the devices track, normally).
+	obsT     *obs.Tracer
+	obsTrack int
+	obsLabel obs.Label
+}
+
+// SetObs attaches the observability tracer (nil detaches).
+func (d *Disk) SetObs(t *obs.Tracer, track int) {
+	d.obsT = t
+	d.obsTrack = track
+	d.obsLabel = t.Intern(d.Name)
 }
 
 // NewDisk builds a ramdisk of the given capacity in bytes.
@@ -96,6 +110,14 @@ func (d *Disk) Submit(write bool, sector uint64, data []byte, done func(ok bool,
 	}
 	finish := start + d.svc(write, len(data)) + faultDelay
 	d.busyUntil = finish
+	if d.obsT != nil {
+		wr := uint64(0)
+		if write {
+			wr = 1
+		}
+		d.obsT.Span(d.obsTrack, obs.KindBlkIO, obs.LevelNone, d.obsLabel,
+			start, finish, wr, uint64(len(data)))
+	}
 	if write {
 		d.Writes++
 		payload := append([]byte(nil), data...)

@@ -8,6 +8,7 @@ import (
 	"svtsim/internal/ept"
 	"svtsim/internal/isa"
 	"svtsim/internal/mem"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 	"svtsim/internal/vmcs"
 )
@@ -63,6 +64,10 @@ type Core struct {
 	hostMem   *mem.Memory
 
 	Stats Stats
+
+	// Obs, when non-nil, receives a stall/resume instant per SVt fetch-
+	// target switch on the track of the context being resumed.
+	Obs *obs.Tracer
 }
 
 // New returns a core with n hardware contexts.
@@ -265,6 +270,10 @@ func (c *Core) enterGuest(ctx ContextID, v *vmcs.VMCS, g Guest) {
 		// the fetch target; all register state stays resident (§3, §4 C).
 		c.Eng.Advance(c.Costs.StallResume)
 		c.Stats.StallResumes++
+		if c.Obs != nil {
+			c.Obs.Instant(int(ctx), obs.KindStallResume, obs.LevelNone, 0,
+				c.Eng.Now(), uint64(c.current), uint64(ctx))
+		}
 		c.current = ctx
 	} else {
 		// Baseline: VMRESUME µcode plus the software thunk that loads the
@@ -304,6 +313,10 @@ func (c *Core) exitGuest(ctx ContextID, v *vmcs.VMCS, e *isa.Exit) *isa.Exit {
 	if c.svtOn && c.svtVisor != NoContext && c.svtVisor != ctx {
 		c.Eng.Advance(c.Costs.StallResume)
 		c.Stats.StallResumes++
+		if c.Obs != nil {
+			c.Obs.Instant(int(c.svtVisor), obs.KindStallResume, obs.LevelNone, 0,
+				c.Eng.Now(), uint64(c.current), uint64(c.svtVisor))
+		}
 		c.current = c.svtVisor
 	} else {
 		c.Eng.Advance(c.Costs.ExitLeg())

@@ -26,6 +26,7 @@ func SetFaults(spec *fault.Spec) { faultSpec = spec }
 func config(mode hv.Mode) machine.Config {
 	cfg := machine.DefaultConfig(mode)
 	cfg.Faults = faultSpec
+	armObs(&cfg)
 	return cfg
 }
 
@@ -33,12 +34,14 @@ func config(mode hv.Mode) machine.Config {
 // to replay the failing run from its log line alone.
 func run(m *machine.Machine) *hv.Profile {
 	defer annotatePanic(m)
+	captureObs(m)
 	return m.Run()
 }
 
 // runSingle is run for single-level machines.
 func runSingle(m *machine.Machine) *hv.Profile {
 	defer annotatePanic(m)
+	captureObs(m)
 	return m.RunSingle()
 }
 
@@ -117,12 +120,12 @@ func FaultSweep(mode hv.Mode, spec *fault.Spec, n int, mutate func(*machine.Mach
 		r.Spec = spec.String()
 		r.Seed = spec.Seed
 	}
-	r.SWFallbacks = m.L0.SWFallbacks
+	r.SWFallbacks = m.L0.SWFallbacks.Value()
 	if m.Chan != nil {
-		r.Reflections = m.Chan.Reflections
-		r.WatchdogFires = m.Chan.WatchdogFires
-		r.Fallbacks = m.Chan.Fallbacks
-		r.FallbackReflections = m.Chan.FallbackReflections
+		r.Reflections = m.Chan.Reflections.Value()
+		r.WatchdogFires = m.Chan.WatchdogFires.Value()
+		r.Fallbacks = m.Chan.Fallbacks.Value()
+		r.FallbackReflections = m.Chan.FallbackReflections.Value()
 		r.BreakerTrips, r.BreakerRecoveries = m.Chan.BreakerStats()
 	}
 	if m.Faults != nil {

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 )
 
@@ -120,6 +121,7 @@ type siteState struct {
 	cfg SiteConfig
 	rng *rand.Rand
 	SiteStats
+	obsLabel obs.Label
 }
 
 // Plane is the fault injector. Construct with NewPlane, configure sites
@@ -128,9 +130,22 @@ type Plane struct {
 	eng      *sim.Engine
 	seed     int64
 	sites    map[string]*siteState
-	fires    uint64
+	fires    obs.Counter
 	trace    []Event
 	traceCap int
+
+	obsT     *obs.Tracer
+	obsTrack int
+}
+
+// SetObs attaches the observability tracer (nil detaches): every fired
+// fault becomes an instant on track (the devices track, normally).
+func (p *Plane) SetObs(t *obs.Tracer, track int) {
+	p.obsT = t
+	p.obsTrack = track
+	for name, st := range p.sites {
+		st.obsLabel = t.Intern(name)
+	}
 }
 
 // NewPlane builds a plane over the engine's virtual clock and registers
@@ -156,11 +171,15 @@ func (p *Plane) Seed() int64 { return p.seed }
 func (p *Plane) Add(cfg SiteConfig) {
 	h := fnv.New64a()
 	h.Write([]byte(cfg.Site))
-	p.sites[cfg.Site] = &siteState{
+	st := &siteState{
 		cfg:       cfg,
 		rng:       sim.NewRand(p.seed ^ int64(h.Sum64())),
 		SiteStats: SiteStats{Site: cfg.Site},
 	}
+	if p.obsT != nil {
+		st.obsLabel = p.obsT.Intern(cfg.Site)
+	}
+	p.sites[cfg.Site] = st
 }
 
 // InjectFault implements sim.FaultInjector.
@@ -203,17 +222,28 @@ func (p *Plane) InjectFault(site string) sim.FaultOutcome {
 	if out.Delay > 0 {
 		st.Delays++
 	}
-	p.fires++
+	p.fires.Inc()
 	if len(p.trace) < p.traceCap {
 		p.trace = append(p.trace, Event{
-			Seq: p.fires, At: p.eng.Now(), Site: site, Out: out,
+			Seq: p.fires.Value(), At: p.eng.Now(), Site: site, Out: out,
 		})
+	}
+	if p.obsT != nil {
+		drop := uint64(0)
+		if out.Drop {
+			drop = 1
+		}
+		p.obsT.Instant(p.obsTrack, obs.KindFault, obs.LevelNone, st.obsLabel,
+			p.eng.Now(), drop, uint64(out.Delay))
 	}
 	return out
 }
 
 // Fires reports the total number of faults fired across all sites.
-func (p *Plane) Fires() uint64 { return p.fires }
+func (p *Plane) Fires() uint64 { return p.fires.Value() }
+
+// FiresCounter exposes the live fire tally for metric registration.
+func (p *Plane) FiresCounter() *obs.Counter { return &p.fires }
 
 // Trace returns the first fired faults (bounded), in fire order.
 func (p *Plane) Trace() []Event { return p.trace }
@@ -231,7 +261,7 @@ func (p *Plane) Stats() []SiteStats {
 // String summarises the plane for logs: seed plus per-site counters.
 func (p *Plane) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "fault plane seed=%d fires=%d", p.seed, p.fires)
+	fmt.Fprintf(&b, "fault plane seed=%d fires=%d", p.seed, p.fires.Value())
 	for _, s := range p.Stats() {
 		fmt.Fprintf(&b, "\n  %-16s consults=%-8d fires=%-6d drops=%-6d delays=%d",
 			s.Site, s.Consults, s.Fires, s.Drops, s.Delays)

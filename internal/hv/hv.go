@@ -7,6 +7,7 @@ import (
 	"svtsim/internal/cost"
 	"svtsim/internal/cpu"
 	"svtsim/internal/isa"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 	"svtsim/internal/vmcs"
 )
@@ -93,6 +94,10 @@ type VCPU struct {
 
 	// Halted is exported for tests/inspection.
 	Halted bool
+
+	// obsLabel caches this vCPU's interned tracer label (0 = not yet
+	// interned; label 0 is the empty string, so the cache is self-priming).
+	obsLabel obs.Label
 }
 
 // NewVCPU builds a vCPU record.
@@ -182,6 +187,7 @@ type Hypervisor struct {
 	NestedProf Profile
 
 	trace *Trace
+	obs   *obs.Tracer
 
 	// Stopped is set when the run loop ends (guest done or deadlock).
 	Stopped bool
@@ -190,7 +196,7 @@ type Hypervisor struct {
 	// SWFallbacks counts nested exits the SW-SVt channel declined
 	// (watchdog exhaustion or open breaker) that were serviced on the
 	// baseline trap/resume path instead.
-	SWFallbacks uint64
+	SWFallbacks obs.Counter
 }
 
 // New builds a hypervisor instance.

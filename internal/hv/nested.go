@@ -5,6 +5,7 @@ import (
 
 	"svtsim/internal/cpu"
 	"svtsim/internal/isa"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 	"svtsim/internal/vmcs"
 )
@@ -157,7 +158,7 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 			// registers and fields), so the sync is free.
 			vmcs.ToVirtual(ns.Vmcs12, ns.Vmcs02)
 			ns.Vmcs12.RecordExit(e2)
-			h.recordNested(e2, tHandle)
+			h.recordNested(ns.L2VCPU, e2, tHandle)
 			return false
 		}
 
@@ -183,18 +184,18 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 			}
 			if l1Wants && ns.Vmcs12.Read(vmcs.PinControls)&vmcs.PinCtlExtIntExit != 0 {
 				handled := h.deliverToL1(vc, ns, e2)
-				h.recordNested(e2, tHandle)
+				h.recordNested(ns.L2VCPU, e2, tHandle)
 				if h.Mode == ModeSWSVt && handled {
 					continue
 				}
 				return false
 			}
 			// Nothing for L1: resume L2 directly.
-			h.recordNested(e2, tHandle)
+			h.recordNested(ns.L2VCPU, e2, tHandle)
 
 		case h.ownedByL1(ns, e2):
 			handled := h.deliverToL1(vc, ns, e2)
-			h.recordNested(e2, tHandle)
+			h.recordNested(ns.L2VCPU, e2, tHandle)
 			if h.Mode == ModeSWSVt && handled {
 				continue // the SVt-thread already handled it; re-enter L2
 			}
@@ -207,7 +208,7 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 			// An exit L0 handles itself against vmcs02 (the guest
 			// hypervisor never learns about it).
 			stop := h.Handle(ns.L2VCPU, e2)
-			h.recordNested(e2, tHandle)
+			h.recordNested(ns.L2VCPU, e2, tHandle)
 			if stop {
 				return true
 			}
@@ -217,7 +218,7 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 
 // recordNested attributes the handling time since start to the nested
 // exit reason (the measurement behind the paper's §6.2/§6.3 profiles).
-func (h *Hypervisor) recordNested(e2 *isa.Exit, start sim.Time) {
+func (h *Hypervisor) recordNested(l2 *VCPU, e2 *isa.Exit, start sim.Time) {
 	d := h.P.Now() - start
 	h.NestedProf.Time[e2.Reason] += d
 	h.NestedProf.Count[e2.Reason]++
@@ -231,6 +232,13 @@ func (h *Hypervisor) recordNested(e2 *isa.Exit, start sim.Time) {
 			Nested:   true,
 			Duration: d,
 		})
+	}
+	if h.obs != nil {
+		if l2.obsLabel == 0 {
+			l2.obsLabel = h.obs.Intern(l2.Name)
+		}
+		h.obs.Span(int(l2.Ctx), obs.KindNestedExit, uint8(l2.Lvl), l2.obsLabel,
+			start, h.P.Now(), uint64(e2.Reason), e2.Qualification)
 	}
 }
 
@@ -249,7 +257,7 @@ func (h *Hypervisor) deliverToL1(vc *VCPU, ns *NestedState, e2 *isa.Exit) bool {
 		if h.SW.ReflectAndWait(vc, e2) {
 			return true
 		}
-		h.SWFallbacks++
+		h.SWFallbacks.Inc()
 	}
 	return false
 }

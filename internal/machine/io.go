@@ -143,6 +143,19 @@ func WireNestedIO(cfg *Config, p IOParams) *IOStack {
 		io.L0Blk.RaiseGuestIRQ = func() { m.L0.InjectIRQ(m.L1IRQTarget(), apic.VecVirtioBlk) }
 		m.L0.Devices[DevL1Blk] = io.L0Blk
 		m.L0.VectorToDevice[HostBlkVec] = io.L0Blk
+
+		if m.Obs != nil {
+			tr, dt := m.Obs.Tracer, m.Obs.Tracer.DeviceTrack()
+			io.L0Net.SetObs(tr, dt)
+			io.L0Blk.SetObs(tr, dt)
+			io.Disk.SetObs(tr, dt)
+			reg := m.Obs.Metrics
+			reg.RegisterFunc("io.disk.reads", func() float64 { return float64(io.Disk.Reads) })
+			reg.RegisterFunc("io.disk.writes", func() float64 { return float64(io.Disk.Writes) })
+			reg.RegisterFunc("io.disk.errors", func() float64 { return float64(io.Disk.Errors) })
+			reg.RegisterFunc("io.l0net.kicks", func() float64 { return float64(io.L0Net.Kicks) })
+			reg.RegisterFunc("io.l0blk.kicks", func() float64 { return float64(io.L0Blk.Kicks) })
+		}
 	}
 
 	cfg.WireL1 = func(m *Machine, h1 *hv.Hypervisor, plat *hv.VirtualPlatform, port *cpu.Port) {
@@ -178,6 +191,15 @@ func WireNestedIO(cfg *Config, p IOParams) *IOStack {
 		io.L1Blk.NotifyHost = func() { io.L1Blk.OnIRQ() }
 		io.L1Blk.RaiseGuestIRQ = func() { h1.InjectIRQ(m.VC12, apic.VecVirtioBlk) }
 		h1.Devices[DevL2Blk] = io.L1Blk
+
+		if m.Obs != nil {
+			tr, dt := m.Obs.Tracer, m.Obs.Tracer.DeviceTrack()
+			io.L1Net.SetObs(tr, dt)
+			io.L1Blk.SetObs(tr, dt)
+			reg := m.Obs.Metrics
+			reg.RegisterFunc("io.l1net.kicks", func() float64 { return float64(io.L1Net.Kicks) })
+			reg.RegisterFunc("io.l1blk.kicks", func() float64 { return float64(io.L1Blk.Kicks) })
+		}
 
 		// Kernel interrupt dispatch: drivers first, hypervisor routing next.
 		drvDispatch := env1.IRQDispatch()
@@ -221,7 +243,12 @@ func (m *Machine) InstallL2(io *IOStack, withNet, withBlk bool, body L2Body) {
 		}
 		body(env)
 	})
-	l2guest.Port().VirtLAPIC = apic.New(200, m.Eng)
+	l2lapic := apic.New(200, m.Eng)
+	if m.Obs != nil {
+		l2lapic.SetObs(m.Obs.Tracer, int(m.Ns.L2VCPU.Ctx), "L2.apic")
+		l2lapic.Metrics(m.Obs.Metrics, "apic.l2")
+	}
+	l2guest.Port().VirtLAPIC = l2lapic
 	m.Ns.L2VCPU.Guest = l2guest
 	m.l2NativeGuest = l2guest
 }

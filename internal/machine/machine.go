@@ -17,6 +17,7 @@ import (
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
 	"svtsim/internal/mem"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
 	"svtsim/internal/vmcs"
@@ -86,6 +87,12 @@ type Config struct {
 	// Nil (or a spec with no sites) registers no injector: the run is
 	// bit-identical to a build without the plane.
 	Faults *fault.Spec
+
+	// Obs optionally arms the observability plane (tracer + metrics
+	// registry). Nil leaves every component's tracer pointer nil, which
+	// is the zero-cost disabled path; armed or not, simulation results
+	// are identical — the plane only ever records, never charges time.
+	Obs *obs.Options
 }
 
 // DefaultConfig returns the calibrated configuration for a mode.
@@ -111,6 +118,9 @@ type Machine struct {
 
 	// Faults is the live fault plane (nil on healthy runs).
 	Faults *fault.Plane
+
+	// Obs is the live observability plane (nil when Config.Obs was nil).
+	Obs *obs.Plane
 
 	L0   *hv.Hypervisor
 	Real *hv.RealPlatform
@@ -178,7 +188,55 @@ func newBase(cfg Config, nctx int) *Machine {
 	m.Real = hv.NewRealPlatform(m.Core)
 	m.L0 = hv.New("L0", m.Real, &m.Cfg.Costs, 0, cfg.Mode)
 	m.L0.NoVMCSShadowing = cfg.DisableVMCSShadowing
+	if cfg.Obs != nil {
+		m.wireObs(*cfg.Obs)
+	}
 	return m
+}
+
+// wireObs assembles the observability plane and attaches it to the
+// components newBase built; level-specific wiring (virtual LAPICs, the
+// SW-SVt channel, L1 hypervisor instances, devices) happens where those
+// are created. Everything here records; nothing charges virtual time.
+func (m *Machine) wireObs(o obs.Options) {
+	m.Obs = obs.New(m.nctx, o)
+	tr, reg := m.Obs.Tracer, m.Obs.Metrics
+
+	if sample := o.EffectiveDispatchSample(); sample > 0 {
+		et := tr.EngineTrack()
+		n := 0
+		m.Eng.SetDispatchHook(func(t sim.Time) {
+			n++
+			if n%sample == 0 {
+				tr.Instant(et, obs.KindDispatch, obs.LevelNone, 0, t, uint64(n), 0)
+			}
+		})
+	}
+	m.Core.Obs = tr
+	for i := 0; i < m.nctx; i++ {
+		if l := m.Core.LAPIC(cpu.ContextID(i)); l != nil {
+			l.SetObs(tr, i, fmt.Sprintf("lapic%d", i))
+			l.Metrics(reg, fmt.Sprintf("apic.ctx%d", i))
+		}
+	}
+	m.L0.SetObs(tr)
+	if m.Faults != nil {
+		m.Faults.SetObs(tr, tr.DeviceTrack())
+		reg.RegisterCounter("fault.fires", m.Faults.FiresCounter())
+	}
+	reg.RegisterCounter("hv.l0.sw_fallbacks", &m.L0.SWFallbacks)
+	reg.RegisterFunc("hv.l0.handle_ns", func() float64 { return float64(m.L0.Prof.Total) })
+	reg.RegisterFunc("hv.l0.nested_handle_ns", func() float64 { return float64(m.L0.NestedProf.Total) })
+	reg.RegisterFunc("sim.dispatched", func() float64 { return float64(m.Eng.Dispatched()) })
+	reg.RegisterFunc("sim.now_ns", func() float64 { return float64(m.Eng.Now()) })
+	st := &m.Core.Stats
+	reg.RegisterFunc("core.entries", func() float64 { return float64(st.Entries) })
+	reg.RegisterFunc("core.stall_resumes", func() float64 { return float64(st.StallResumes) })
+	reg.RegisterFunc("core.thunk_reg_moves", func() float64 { return float64(st.ThunkRegMoves) })
+	reg.RegisterFunc("core.ctxt_accesses", func() float64 { return float64(st.CtxtAccesses) })
+	reg.RegisterFunc("core.instructions", func() float64 { return float64(st.Instructions) })
+	reg.RegisterFunc("core.level_swaps", func() float64 { return float64(st.LevelSwaps) })
+	reg.RegisterFunc("core.injected_irqs", func() float64 { return float64(st.InjectedIRQs) })
 }
 
 // newVmcs01 builds the host-side VMCS for one L1 vCPU.
@@ -289,6 +347,14 @@ func NewNested(cfg Config) *Machine {
 		m.buildSWSVt()
 	}
 
+	if m.Obs != nil {
+		tr := m.Obs.Tracer
+		m.VcpuL1.VirtLAPIC.SetObs(tr, int(l1ctx), "L1.vcpu0.apic")
+		m.VcpuL1.VirtLAPIC.Metrics(m.Obs.Metrics, "apic.l1")
+		m.VC12.VirtLAPIC.SetObs(tr, int(l2ctx), "L1.vcpu-l2.apic")
+		m.VC12.VirtLAPIC.Metrics(m.Obs.Metrics, "apic.l1-l2")
+	}
+
 	if cfg.WireL0 != nil {
 		cfg.WireL0(m)
 	}
@@ -339,6 +405,18 @@ func (m *Machine) buildSWSVt() {
 	m.SVtThread.Ch = m.Chan
 	m.L0.SW = m.Chan
 	m.L0.OnPairHypercall = func(vc *hv.VCPU, arg uint64) {} // pairing recorded implicitly
+
+	if m.Obs != nil {
+		m.Chan.SetObs(m.Obs.Tracer)
+		m.VcpuSVt.VirtLAPIC.SetObs(m.Obs.Tracer, 1, "L1.vcpu1.apic")
+		m.VcpuSVt.VirtLAPIC.Metrics(m.Obs.Metrics, "apic.l1-svt")
+		reg := m.Obs.Metrics
+		reg.RegisterCounter("swsvt.reflections", &m.Chan.Reflections)
+		reg.RegisterCounter("swsvt.blocked_events", &m.Chan.BlockedEvents)
+		reg.RegisterCounter("swsvt.watchdog_fires", &m.Chan.WatchdogFires)
+		reg.RegisterCounter("swsvt.fallbacks", &m.Chan.Fallbacks)
+		reg.RegisterCounter("swsvt.fallback_reflections", &m.Chan.FallbackReflections)
+	}
 }
 
 // svtThreadSetup builds the guest-hypervisor instance the SVt-thread
@@ -346,6 +424,9 @@ func (m *Machine) buildSWSVt() {
 func (m *Machine) svtThreadSetup(p *cpu.Port) {
 	plat := hv.NewVirtualPlatform(p)
 	h1 := hv.New("L1-svt", plat, &m.Cfg.Costs, 1, m.Cfg.Mode)
+	if m.Obs != nil {
+		h1.SetObs(m.Obs.Tracer)
+	}
 	// Share the device map with the main L1 hypervisor instance (which
 	// has already booted: its body runs before the first reflection can
 	// reach the SVt-thread). In SW-SVt mode only the SVt-thread's
@@ -370,6 +451,9 @@ func (m *Machine) svtThreadSetup(p *cpu.Port) {
 func (m *Machine) l1Body(p *cpu.Port) {
 	plat := hv.NewVirtualPlatform(p)
 	h1 := hv.New("L1", plat, &m.Cfg.Costs, 1, m.Cfg.Mode)
+	if m.Obs != nil {
+		h1.SetObs(m.Obs.Tracer)
+	}
 	m.L1HV = h1
 	m.L1Plat = plat
 	p.IRQHandler = h1.HandleKernelIRQ
@@ -449,6 +533,10 @@ func NewSingleLevel(cfg Config) *Machine {
 	v := m.newVmcs01("vmcs01")
 	m.VcpuGuest = hv.NewVCPU("L1.vcpu0", 0, v, nil, 1)
 	m.VcpuGuest.VirtLAPIC = apic.New(10, m.Eng)
+	if m.Obs != nil {
+		m.VcpuGuest.VirtLAPIC.SetObs(m.Obs.Tracer, 0, "L1.vcpu0.apic")
+		m.VcpuGuest.VirtLAPIC.Metrics(m.Obs.Metrics, "apic.l1")
+	}
 	if cfg.WireL0 != nil {
 		cfg.WireL0(m)
 	}

@@ -160,8 +160,8 @@ func TestHWSVtBehaviour(t *testing.T) {
 func TestSWSVtBehaviour(t *testing.T) {
 	const n = 200
 	_, m, _ := nestedCPUID(t, hv.ModeSWSVt, n)
-	if m.Chan.Reflections < uint64(n) {
-		t.Errorf("ring reflections = %d, want >= %d", m.Chan.Reflections, n)
+	if m.Chan.Reflections.Value() < uint64(n) {
+		t.Errorf("ring reflections = %d, want >= %d", m.Chan.Reflections.Value(), n)
 	}
 	if m.SVtThread.Handled < uint64(n) {
 		t.Errorf("SVt-thread handled %d traps, want >= %d", m.SVtThread.Handled, n)

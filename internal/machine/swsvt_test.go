@@ -52,7 +52,7 @@ func runBlockedScenario(t *testing.T, protocol bool) (handled bool, blockedEvent
 	m.SetL2Workload(&ipiCpuidLoop{n: 100})
 	m.Run()
 	m.Shutdown()
-	return ipiHandled, m.Chan.BlockedEvents
+	return ipiHandled, m.Chan.BlockedEvents.Value()
 }
 
 func TestSVtBlockedProtocolDeliversIPI(t *testing.T) {

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"svtsim/internal/isa"
+	"svtsim/internal/sim"
+)
+
+// This file renders the tracer into the Chrome trace-event JSON format
+// (the "JSON Array Format" Perfetto and chrome://tracing load): one
+// process per track, "X" complete events for spans, "i" instants, and
+// "M" metadata records naming the tracks. Output is fully deterministic
+// — tracks in index order, events in ring order, floats formatted with
+// fixed precision — so two identical runs serialize byte-identically.
+
+// eventName renders an event's display name.
+func (t *Tracer) eventName(e Event) string {
+	switch e.Kind {
+	case KindVMExit, KindNestedExit:
+		return isa.ExitReason(e.Arg1).String()
+	case KindReflect:
+		return "reflect " + isa.ExitReason(e.Arg1).String()
+	case KindIRQ, KindIPI:
+		return fmt.Sprintf("%s 0x%02x", e.Kind, e.Arg1)
+	case KindFault:
+		return "fault " + t.Lookup(e.Label)
+	default:
+		if lab := t.Lookup(e.Label); lab != "" {
+			return e.Kind.String() + " " + lab
+		}
+		return e.Kind.String()
+	}
+}
+
+// eventCat groups kinds into Perfetto categories.
+func (k Kind) category() string {
+	switch k {
+	case KindVMExit, KindNestedExit:
+		return "vmexit"
+	case KindReflect, KindWake, KindRingPush, KindRingPop:
+		return "swsvt"
+	case KindStallResume:
+		return "svt"
+	case KindIRQ, KindIPI:
+		return "irq"
+	case KindBlkIO, KindVirtioKick, KindVirtioComplete:
+		return "io"
+	case KindFault:
+		return "fault"
+	default:
+		return "engine"
+	}
+}
+
+// usec renders a virtual time as trace-event microseconds with
+// nanosecond precision.
+func usec(t sim.Time) string {
+	return strconv.FormatFloat(float64(t)/1e3, 'f', 3, 64)
+}
+
+// WriteChromeTrace serializes every track as Chrome trace-event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`)
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	for i := range t.tracks {
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, i, t.names[i]))
+		emit(fmt.Sprintf(`{"name":"process_sort_index","ph":"M","pid":%d,"tid":0,"args":{"sort_index":%d}}`, i, i))
+	}
+	for i, ring := range t.tracks {
+		pid := i
+		ring.Do(func(e Event) {
+			args := fmt.Sprintf(`"a1":%d,"a2":%d`, e.Arg1, e.Arg2)
+			if e.Level != LevelNone {
+				args = fmt.Sprintf(`"level":%d,`, e.Level) + args
+			}
+			if lab := t.Lookup(e.Label); lab != "" {
+				args = fmt.Sprintf(`"label":%q,`, lab) + args
+			}
+			if e.Kind.IsSpan() {
+				emit(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"X","pid":%d,"tid":0,"ts":%s,"dur":%s,"args":{%s}}`,
+					t.eventName(e), e.Kind.category(), pid, usec(e.At), usec(e.Dur), args))
+			} else {
+				emit(fmt.Sprintf(`{"name":%q,"cat":%q,"ph":"i","s":"t","pid":%d,"tid":0,"ts":%s,"args":{%s}}`,
+					t.eventName(e), e.Kind.category(), pid, usec(e.At), args))
+			}
+		})
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// summaryRow aggregates retained span time under one name.
+type summaryRow struct {
+	name  string
+	total sim.Time
+	count uint64
+}
+
+// WriteSummary renders the top-N "where did the cycles go" table over
+// the retained span events, aggregated by event name, longest first.
+func (t *Tracer) WriteSummary(w io.Writer, topN int) error {
+	if t == nil {
+		_, err := io.WriteString(w, "observability disabled\n")
+		return err
+	}
+	agg := make(map[string]*summaryRow)
+	var grand sim.Time
+	for _, ring := range t.tracks {
+		ring.Do(func(e Event) {
+			if !e.Kind.IsSpan() {
+				return
+			}
+			name := e.Kind.String() + ":" + t.eventName(e)
+			row := agg[name]
+			if row == nil {
+				row = &summaryRow{name: name}
+				agg[name] = row
+			}
+			row.total += e.Dur
+			row.count++
+			grand += e.Dur
+		})
+	}
+	rows := make([]*summaryRow, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].name < rows[j].name
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	if _, err := fmt.Fprintf(w, "where did the cycles go (%d events recorded, retained spans only):\n", t.Total()); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(r.total) / float64(grand)
+		}
+		if _, err := fmt.Fprintf(w, "  %-40s %12v %8d× %5.1f%%\n", r.name, r.total, r.count, share); err != nil {
+			return err
+		}
+	}
+	return nil
+}

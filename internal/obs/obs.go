@@ -1,0 +1,118 @@
+// Package obs is the simulator's unified observability plane: a
+// structured span/event tracer over virtual time, a metrics registry of
+// named instruments, and exporters (Chrome trace-event / Perfetto JSON,
+// flat CSV/JSON metrics, a textual "where did the cycles go" summary).
+//
+// The plane is zero-cost when disabled: every emission site in the
+// simulator guards on a nil *Tracer (or nil hook), so a run without
+// observability pays one predictable branch per site and allocates
+// nothing. The enabled path is allocation-free in steady state too —
+// events are flat structs (no pointers, no strings) buffered into
+// fixed-capacity per-track rings allocated up front, and labels are
+// interned once per distinct string.
+//
+// Observation never perturbs the simulation: the tracer neither charges
+// virtual time nor touches any RNG stream, so a run traced at any ring
+// size is byte-identical, in every experiment output, to the same run
+// untraced (pinned by the exp package's determinism golden test).
+package obs
+
+import "svtsim/internal/sim"
+
+// Kind classifies an event. Spans carry a duration; instants are points.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindNone Kind = iota
+	// KindVMExit is a handled VM exit on the direct path (Hypervisor
+	// run loop): Arg1 = exit reason, Arg2 = qualification.
+	KindVMExit
+	// KindNestedExit is L0's handling of a nested (L2) exit:
+	// Arg1 = exit reason, Arg2 = qualification.
+	KindNestedExit
+	// KindReflect is one successful SW-SVt reflection round trip
+	// (CMD_VM_TRAP → SVt-thread → CMD_VM_RESUME): Arg1 = exit reason.
+	KindReflect
+	// KindWake is a SW-SVt wait-policy wake (mwait/poll/mutex latency).
+	KindWake
+	// KindBlkIO is one disk request's service window: Arg1 = 1 for a
+	// write, Arg2 = transfer bytes.
+	KindBlkIO
+	// KindDispatch is a sampled engine-dispatch marker: Arg1 = the
+	// hook's dispatch count at emission.
+	KindDispatch
+	// KindRingPush is a command-ring push: Arg1 = command type,
+	// Arg2 = ring occupancy after the push.
+	KindRingPush
+	// KindRingPop is a command-ring pop: Arg1 = command type.
+	KindRingPop
+	// KindStallResume is an SVt fetch-target switch: Arg1 = from
+	// context, Arg2 = to context.
+	KindStallResume
+	// KindIRQ is a vector becoming pending on a LAPIC: Arg1 = vector.
+	KindIRQ
+	// KindIPI is an inter-processor interrupt delivery: Arg1 = vector.
+	KindIPI
+	// KindVirtioKick is a driver notify (queue kick): Arg1 = queue.
+	KindVirtioKick
+	// KindVirtioComplete is a virtio completion interrupt raised into
+	// the owning guest.
+	KindVirtioComplete
+	// KindFault is a fired fault-plane injection: Arg1 = 1 for a drop,
+	// Arg2 = injected delay in nanoseconds; the label names the site.
+	KindFault
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	KindNone:           "none",
+	KindVMExit:         "vmexit",
+	KindNestedExit:     "nested-exit",
+	KindReflect:        "reflect",
+	KindWake:           "wake",
+	KindBlkIO:          "blk-io",
+	KindDispatch:       "dispatch",
+	KindRingPush:       "ring-push",
+	KindRingPop:        "ring-pop",
+	KindStallResume:    "stall-resume",
+	KindIRQ:            "irq",
+	KindIPI:            "ipi",
+	KindVirtioKick:     "virtio-kick",
+	KindVirtioComplete: "virtio-complete",
+	KindFault:          "fault",
+}
+
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// IsSpan reports whether events of this kind carry a duration (exported
+// as Chrome "X" complete events; the rest are "i" instants).
+func (k Kind) IsSpan() bool {
+	switch k {
+	case KindVMExit, KindNestedExit, KindReflect, KindWake, KindBlkIO:
+		return true
+	}
+	return false
+}
+
+// LevelNone marks an event with no virtualization level attached.
+const LevelNone uint8 = 0xFF
+
+// Event is one recorded occurrence. It is a flat value — no pointers,
+// no strings — so rings of events are a single slab and pushes never
+// allocate. Label indexes the tracer's intern table.
+type Event struct {
+	At    sim.Time // virtual start time
+	Dur   sim.Time // span duration (0 for instants)
+	Arg1  uint64
+	Arg2  uint64
+	Kind  Kind
+	Level uint8 // virtualization level of the subject (LevelNone = n/a)
+	Label Label
+}

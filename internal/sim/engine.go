@@ -82,6 +82,11 @@ type Engine struct {
 	// Fault-injection plane (nil = healthy run, zero overhead).
 	faults FaultInjector
 
+	// onDispatch, when set, observes every event dispatch (the
+	// observability plane samples it). Nil — the default — costs the
+	// hot loop one predictable branch and nothing else.
+	onDispatch func(Time)
+
 	// Livelock/deadlock detection (see detect.go).
 	stallLimit uint64
 	stallCount uint64
@@ -98,6 +103,12 @@ func (e *Engine) Now() Time { return e.now }
 
 // Dispatched reports how many events have fired so far.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// SetDispatchHook installs (or, with nil, removes) an observer called
+// with the current virtual time after each event fires. The hook must
+// not mutate engine state: it exists for observability only, and the
+// determinism guarantees assume it neither charges time nor schedules.
+func (e *Engine) SetDispatchHook(fn func(Time)) { e.onDispatch = fn }
 
 // NoteWake records a wake-relevant occurrence (an interrupt delivery,
 // typically). Idle loops sample WakeEpoch around Step: a bump means an
@@ -214,6 +225,9 @@ func (e *Engine) DispatchDue() int {
 		e.dispatched++
 		n++
 		e.noteDispatch()
+		if e.onDispatch != nil {
+			e.onDispatch(e.now)
+		}
 		fn()
 	}
 	return n

@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// The dispatch hook fires once per dispatched event, at the event's
+// virtual time, before the callback runs — and detaching it restores
+// the unhooked path.
+func TestDispatchHook(t *testing.T) {
+	e := New()
+	var hookTimes []Time
+	e.SetDispatchHook(func(at Time) { hookTimes = append(hookTimes, at) })
+
+	var order []string
+	e.After(10, func() { order = append(order, "a") })
+	e.After(10, func() { order = append(order, "b") })
+	e.After(25, func() { order = append(order, "c") })
+	e.Drain(100)
+
+	if len(hookTimes) != 3 {
+		t.Fatalf("hook fired %d times, want 3", len(hookTimes))
+	}
+	want := []Time{10, 10, 25}
+	for i, at := range hookTimes {
+		if at != want[i] {
+			t.Fatalf("hook times = %v, want %v", hookTimes, want)
+		}
+	}
+	if len(order) != 3 {
+		t.Fatalf("callbacks ran %d times", len(order))
+	}
+
+	// Detach: further dispatches must not call the old hook.
+	e.SetDispatchHook(nil)
+	e.After(5, func() {})
+	e.Drain(100)
+	if len(hookTimes) != 3 {
+		t.Fatal("hook fired after detach")
+	}
+	if e.Dispatched() != 4 {
+		t.Fatalf("Dispatched() = %d", e.Dispatched())
+	}
+}
+
+// A hook that schedules from inside the callback path must observe a
+// consistent clock (the hook runs before the event's own callback).
+func TestDispatchHookSeesEventTime(t *testing.T) {
+	e := New()
+	var mismatch bool
+	e.SetDispatchHook(func(at Time) {
+		if at != e.Now() {
+			mismatch = true
+		}
+	})
+	e.After(3, func() { e.After(4, func() {}) })
+	e.Drain(100)
+	if mismatch {
+		t.Fatal("hook time disagreed with engine clock")
+	}
+}

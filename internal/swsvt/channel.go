@@ -8,6 +8,7 @@ import (
 	"svtsim/internal/fault"
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 	"svtsim/internal/vmcs"
 )
@@ -61,21 +62,37 @@ type Channel struct {
 
 	breakers map[*hv.VCPU]*fault.Breaker
 
-	// Stats.
-	Reflections   uint64
-	BlockedEvents uint64
+	// Stats (obs counters so the observability registry can export the
+	// live values; read them with .Value()).
+	Reflections   obs.Counter
+	BlockedEvents obs.Counter
 	// WatchdogFires counts watchdog expiries (lost wakeups, stalled
 	// pushes, spurious pops that had to be retried).
-	WatchdogFires uint64
+	WatchdogFires obs.Counter
 	// Fallbacks counts reflections abandoned after the watchdog
 	// exhausted its retries; the exit was re-handled on the baseline
 	// trap/resume path.
-	Fallbacks uint64
+	Fallbacks obs.Counter
 	// FallbackReflections counts reflections short-circuited to the
 	// baseline path by an open breaker (no SW-SVt attempt at all).
-	FallbackReflections uint64
+	FallbackReflections obs.Counter
 	lastReturn          sim.Time
 	stopped             bool
+
+	// Obs, when non-nil, receives reflection-protocol events: ring
+	// push/pop instants and the mwait-wake span, keyed to the hardware
+	// contexts the protocol actually runs on.
+	Obs        *obs.Tracer
+	labToSVt   obs.Label
+	labFromSVt obs.Label
+}
+
+// SetObs attaches the observability tracer (nil detaches) and interns
+// the ring labels once so the emit paths stay allocation-free.
+func (ch *Channel) SetObs(t *obs.Tracer) {
+	ch.Obs = t
+	ch.labToSVt = t.Intern("to-svt")
+	ch.labFromSVt = t.Intern("from-svt")
 }
 
 var _ hv.SWChannel = (*Channel)(nil)
@@ -94,7 +111,7 @@ func (ch *Channel) now() sim.Time { return ch.L0.P.Now() }
 func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) bool {
 	br := ch.breakerFor(vc)
 	if br != nil && !br.Allow() {
-		ch.FallbackReflections++
+		ch.FallbackReflections.Inc()
 		return false
 	}
 	ok := ch.reflect(e)
@@ -106,7 +123,7 @@ func (ch *Channel) ReflectAndWait(vc *hv.VCPU, e *isa.Exit) bool {
 		}
 	}
 	if !ok {
-		ch.Fallbacks++
+		ch.Fallbacks.Inc()
 	}
 	return ok
 }
@@ -140,7 +157,8 @@ func (ch *Channel) BreakerStats() (trips, recoveries uint64) {
 func (ch *Channel) ProbeState() string {
 	return fmt.Sprintf("toSVt=%d/%d fromSVt=%d/%d reflections=%d watchdog=%d fallbacks=%d+%d stopped=%v",
 		ch.ToSVt.Len(), ch.ToSVt.Cap(), ch.FromSVt.Len(), ch.FromSVt.Cap(),
-		ch.Reflections, ch.WatchdogFires, ch.Fallbacks, ch.FallbackReflections, ch.stopped)
+		ch.Reflections.Value(), ch.WatchdogFires.Value(), ch.Fallbacks.Value(),
+		ch.FallbackReflections.Value(), ch.stopped)
 }
 
 // reflect performs one fault-aware reflection round trip. On a healthy
@@ -149,6 +167,7 @@ func (ch *Channel) ProbeState() string {
 // free when no injector is registered.
 func (ch *Channel) reflect(e *isa.Exit) bool {
 	m := ch.Costs
+	reflStart := ch.now()
 
 	// Under a polling policy at SMT placement, L0₀'s spinning since the
 	// last command stole cycles from the sibling; account it now.
@@ -177,8 +196,14 @@ func (ch *Channel) reflect(e *isa.Exit) bool {
 		ch.ToSVt.Pop()
 		return false
 	}
-	ch.Reflections++
+	ch.Reflections.Inc()
+	wakeStart := ch.now()
 	ch.L0.P.Charge(WakeLatency(m, ch.Policy, ch.Placement, threadIdle))
+	if ch.Obs != nil {
+		// The mwait-wake of the SVt-thread on the sibling context.
+		ch.Obs.Span(int(ch.VcpuSVt.Ctx), obs.KindWake, 1, 0,
+			wakeStart, ch.now(), uint64(threadIdle), 0)
+	}
 
 	sent := ch.now()
 	ch.runSVtThread()
@@ -204,7 +229,7 @@ func (ch *Channel) reflect(e *isa.Exit) bool {
 			break
 		}
 		ch.WD.Fire()
-		ch.WatchdogFires++
+		ch.WatchdogFires.Inc()
 		ch.L0.P.Charge(ch.WD.TimeoutFor(attempt))
 		if attempt >= ch.WD.MaxRetries {
 			break
@@ -227,6 +252,17 @@ func (ch *Channel) reflect(e *isa.Exit) bool {
 	// L0₀ was waiting on the response ring with the same policy.
 	ch.L0.P.Charge(WakeLatency(m, ch.Policy, ch.Placement, ch.now()-sent))
 	ch.lastReturn = ch.now()
+	if ch.Obs != nil {
+		l0Track := 0
+		if ch.Ns != nil && ch.Ns.L2VCPU != nil {
+			l0Track = int(ch.Ns.L2VCPU.Ctx)
+		}
+		ch.Obs.Instant(l0Track, obs.KindRingPop, 1, ch.labFromSVt,
+			ch.lastReturn, uint64(cmd.Type), 0)
+		// The whole reflection round trip, on the context that trapped.
+		ch.Obs.Span(l0Track, obs.KindReflect, 1, 0,
+			reflStart, ch.lastReturn, uint64(e.Reason), 0)
+	}
 	return true
 }
 
@@ -247,6 +283,14 @@ func (ch *Channel) pushTrap(e *isa.Exit) bool {
 		if !stalled {
 			ch.L0.P.Charge(m.RingCmd + sim.Time(int(isa.NumGPR))*m.RingPayloadReg)
 			if err := ch.ToSVt.Push(Cmd{Type: CmdVMTrap, Exit: uint64(e.Reason)}); err == nil {
+				if ch.Obs != nil {
+					l0Track := 0
+					if ch.Ns != nil && ch.Ns.L2VCPU != nil {
+						l0Track = int(ch.Ns.L2VCPU.Ctx)
+					}
+					ch.Obs.Instant(l0Track, obs.KindRingPush, 1, ch.labToSVt,
+						ch.now(), uint64(e.Reason), uint64(ch.ToSVt.Len()))
+				}
 				return true
 			}
 			// ErrRingFull: the consumer is stuck; wait and retry rather
@@ -256,7 +300,7 @@ func (ch *Channel) pushTrap(e *isa.Exit) bool {
 			return false
 		}
 		ch.WD.Fire()
-		ch.WatchdogFires++
+		ch.WatchdogFires.Inc()
 		ch.L0.P.Charge(ch.WD.TimeoutFor(attempt))
 		if attempt >= ch.WD.MaxRetries {
 			return false
@@ -283,7 +327,7 @@ func (ch *Channel) wakeRetry(site string) bool {
 			return false
 		}
 		ch.WD.Fire()
-		ch.WatchdogFires++
+		ch.WatchdogFires.Inc()
 		ch.L0.P.Charge(ch.WD.TimeoutFor(attempt))
 		if attempt >= ch.WD.MaxRetries {
 			return false
@@ -350,7 +394,7 @@ func (ch *Channel) serviceBlockedL1() {
 	if vc == nil || vc.VirtLAPIC == nil || !vc.VirtLAPIC.HasPending() {
 		return
 	}
-	ch.BlockedEvents++
+	ch.BlockedEvents.Inc()
 	// Present the blocked trap through the shadow VMCS.
 	ch.Ns.Vmcs12.RecordExit(&isa.Exit{Reason: isa.ExitSVTBlocked})
 	ch.L0.P.Charge(ch.Costs.InjectExit)
@@ -432,6 +476,10 @@ func (t *SVtThread) pushResume(p *cpu.Port) {
 		}
 		if !stalled {
 			if err := ch.FromSVt.Push(Cmd{Type: CmdVMResume}); err == nil {
+				if ch.Obs != nil {
+					ch.Obs.Instant(int(ch.VcpuSVt.Ctx), obs.KindRingPush, 1,
+						ch.labFromSVt, ch.now(), 0, uint64(ch.FromSVt.Len()))
+				}
 				return
 			}
 		}
@@ -439,7 +487,7 @@ func (t *SVtThread) pushResume(p *cpu.Port) {
 			panic("swsvt thread: response ring push failed with no watchdog")
 		}
 		ch.WD.Fire()
-		ch.WatchdogFires++
+		ch.WatchdogFires.Inc()
 		p.Charge(ch.WD.TimeoutFor(attempt))
 		// The thread gets a much longer leash than a reflection (which
 		// can fall back): give up only when a fallback-less retry storm
@@ -460,6 +508,10 @@ func (t *SVtThread) waitPop(p *cpu.Port) Cmd {
 	for {
 		p.PollIRQs()
 		if cmd, ok := t.Ch.ToSVt.Pop(); ok {
+			if ch := t.Ch; ch.Obs != nil {
+				ch.Obs.Instant(int(ch.VcpuSVt.Ctx), obs.KindRingPop, 1,
+					ch.labToSVt, ch.now(), uint64(cmd.Exit), uint64(ch.ToSVt.Len()))
+			}
 			return cmd
 		}
 		p.Exec(isa.Instr{Op: isa.OpMonitor})

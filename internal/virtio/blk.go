@@ -151,6 +151,7 @@ func (b *BlkBackend) OnIRQ() {
 	}
 	b.completed = b.completed[:0]
 	if raised && b.RaiseGuestIRQ != nil {
+		b.ObsComplete(0)
 		b.RaiseGuestIRQ()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"svtsim/internal/fault"
+	"svtsim/internal/obs"
 	"svtsim/internal/sim"
 )
 
@@ -50,6 +51,34 @@ type DeviceCommon struct {
 	NotifyLost uint64
 	// NotifyDelayed counts notifications deferred by injected faults.
 	NotifyDelayed uint64
+
+	// obsT, when non-nil, receives kick/complete instants on obsTrack
+	// (the devices track, normally).
+	obsT     *obs.Tracer
+	obsTrack int
+	obsLabel obs.Label
+}
+
+// SetObs attaches the observability tracer (nil detaches).
+func (c *DeviceCommon) SetObs(t *obs.Tracer, track int) {
+	c.obsT = t
+	c.obsTrack = track
+	c.obsLabel = t.Intern(c.DevName)
+}
+
+// obsInstant records a device event when tracing is armed. The virtual
+// clock comes from Eng, so devices without an engine stay silent.
+func (c *DeviceCommon) obsInstant(k obs.Kind, a1, a2 uint64) {
+	if c.obsT != nil && c.Eng != nil {
+		c.obsT.Instant(c.obsTrack, k, obs.LevelNone, c.obsLabel,
+			c.Eng.Now(), a1, a2)
+	}
+}
+
+// ObsComplete is called by backends when completion processing raised
+// the guest interrupt.
+func (c *DeviceCommon) ObsComplete(n uint64) {
+	c.obsInstant(obs.KindVirtioComplete, n, 0)
 }
 
 // notify routes a host-completion notification through the fault plane:
@@ -88,6 +117,7 @@ func (c *DeviceCommon) MMIOWrite(gpa, val uint64) {
 	switch off {
 	case RegQueueNotify:
 		c.Kicks++
+		c.obsInstant(obs.KindVirtioKick, val, c.Kicks)
 		if c.OnKick != nil {
 			c.OnKick(int(val))
 		}

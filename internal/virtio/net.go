@@ -177,6 +177,7 @@ func (b *NetBackend) OnIRQ() {
 	// during its completion pass, so suppressed kicks still make progress.
 	b.drainTX()
 	if raised && b.RaiseGuestIRQ != nil {
+		b.ObsComplete(b.RxPackets)
 		b.RaiseGuestIRQ()
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"svtsim/internal/guest"
 	"svtsim/internal/hv"
 	"svtsim/internal/machine"
+	"svtsim/internal/obs"
 	"svtsim/internal/parallel"
 	"svtsim/internal/report"
 	"svtsim/internal/sim"
@@ -193,6 +194,28 @@ type ChannelPoint = exp.ChannelPoint
 
 // ChannelStudy sweeps the SW SVt wait policies and placements (§6.1).
 func ChannelStudy(n int, workloads []Time) []ChannelPoint { return exp.ChannelStudy(n, workloads) }
+
+// --- Observability plane -----------------------------------------------
+
+// ObsOptions configures the observability plane: per-track trace ring
+// capacity and engine dispatch-marker sampling.
+type ObsOptions = obs.Options
+
+// ObsPlane is one run's armed plane: the virtual-time tracer plus the
+// metrics registry. Export with Tracer.WriteChromeTrace (Perfetto /
+// chrome://tracing JSON), Tracer.WriteSummary (top-N span table) and
+// Metrics.WriteCSV / Metrics.WriteJSON.
+type ObsPlane = obs.Plane
+
+// SetObs arms (or, with nil, disarms) tracing and metrics for all
+// subsequent experiment runs. Arming never perturbs the simulation: the
+// plane only records over virtual time, so results are byte-identical
+// with tracing on or off.
+func SetObs(o *ObsOptions) { exp.SetObs(o) }
+
+// LastObs returns the plane captured by the most recent experiment run
+// (nil when disarmed).
+func LastObs() *ObsPlane { return exp.LastObs() }
 
 // --- Fault-injection plane ---------------------------------------------
 
