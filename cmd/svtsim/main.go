@@ -17,6 +17,14 @@
 // results.
 //
 //	svtsim -mode sw-svt -workload netrr -n 200 -trace out.json -metrics out.csv -summary 10
+//
+// Differential checking: -check N generates N seeded schedules and runs
+// each under every mode, comparing guest-visible outcomes; failures are
+// shrunk and written as repro files. -replay FILE re-runs one schedule
+// file (a repro or a corpus entry) through the same oracle.
+//
+//	svtsim -check 25 -check-seed 1
+//	svtsim -replay repro-7.sched
 package main
 
 import (
@@ -85,8 +93,27 @@ func main() {
 		faults    = flag.String("faults", "", "fault spec: site:key=val,...;... (sites: "+strings.Join(svtsim.FaultSites(), ", ")+")")
 		faultSeed = flag.Int64("fault-seed", 1, "fault plane RNG seed (replays are byte-identical per seed)")
 		faultRate = flag.Float64("fault-rate", 0, "shorthand: drop SW-SVt wakeups and IPIs at this probability")
+		checkN    = flag.Int("check", 0, "differentially check N generated schedules across all modes, then exit")
+		checkSeed = flag.Int64("check-seed", 1, "first schedule seed for -check (seeds are consecutive)")
+		checkDir  = flag.String("check-dir", ".", "directory for shrunk repro files written by -check")
+		replay    = flag.String("replay", "", "replay a schedule file through the differential check, then exit")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if err := svtsim.ReplaySchedule(os.Stdout, *replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: equivalent across all modes\n", *replay)
+		return
+	}
+	if *checkN > 0 {
+		if failures := svtsim.CheckSchedules(os.Stdout, *checkN, *checkSeed, *checkDir); failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	mode, err := parseMode(*modeStr)
 	if err != nil {

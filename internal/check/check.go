@@ -1,0 +1,74 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// RunBudget generates and checks n schedules from consecutive seeds
+// starting at seed, logging verdicts to w. Every failure is shrunk and
+// written as a repro file under dir (created if needed; skipped when dir
+// is empty). It returns the number of failing schedules.
+func RunBudget(w io.Writer, n int, seed int64, dir string) int {
+	failures := 0
+	for i := 0; i < n; i++ {
+		s := Generate(seed + int64(i))
+		v := CheckSchedule(s, nil)
+		if !v.Failed() {
+			fmt.Fprintf(w, "%s\n", v)
+			continue
+		}
+		failures++
+		fmt.Fprintf(w, "%s\n", v)
+		min := Shrink(s, nil)
+		fmt.Fprintf(w, "shrunk to %d ops\n", len(min.Ops))
+		if dir != "" {
+			path, err := WriteRepro(dir, min)
+			if err != nil {
+				fmt.Fprintf(w, "repro write failed: %v\n", err)
+			} else {
+				fmt.Fprintf(w, "repro: %s (replay with svtsim -replay %s)\n", path, path)
+			}
+		}
+	}
+	fmt.Fprintf(w, "checked %d schedules (seeds %d..%d): %d failing\n", n, seed, seed+int64(n)-1, failures)
+	return failures
+}
+
+// WriteRepro stores the schedule's canonical encoding under dir and
+// returns the file path. The content is exactly s.Encode(), so a decode
+// → re-encode of the file is byte-identical.
+func WriteRepro(dir string, s *Schedule) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, ReproName(s))
+	if err := os.WriteFile(path, s.Encode(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReplayFile re-runs a repro (or corpus) schedule file under the full
+// mode set and reports the verdict to w. The returned error is non-nil
+// for unreadable/invalid files AND for failing verdicts, so callers can
+// exit nonzero on either.
+func ReplayFile(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return err
+	}
+	v := CheckSchedule(s, nil)
+	fmt.Fprintf(w, "%s\n", v)
+	if v.Failed() {
+		return fmt.Errorf("check: %s: schedule is inequivalent across modes", path)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package check
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpus replays every frozen regression schedule under testdata/.
+// Each file pins a scenario that once exposed (or nearly exposed) an
+// inequivalence; they must all stay equivalent across the full mode set.
+func TestCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.sched"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("corpus has %d schedules, expected at least 3 (ipi-deadlock, breaker-trip, smp-wake)", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			var out bytes.Buffer
+			if err := ReplayFile(&out, path); err != nil {
+				t.Fatalf("%v\n%s", err, out.String())
+			}
+		})
+	}
+}
+
+// TestCorpusDecodes keeps the corpus files parseable independently of
+// whether their runs pass, so a codec change cannot silently orphan them.
+func TestCorpusDecodes(t *testing.T) {
+	for _, name := range []string{"ipi-deadlock.sched", "breaker-trip.sched", "smp-wake.sched"} {
+		raw, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Decode(bytes.NewReader(raw)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

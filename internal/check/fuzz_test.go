@@ -1,0 +1,39 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenario decodes fuzzer bytes into a bounded schedule and runs the
+// full differential oracle over it: any input the byte-mapper accepts
+// must be architecturally equivalent across every mode, and its canonical
+// encoding must round-trip.
+func FuzzScenario(f *testing.F) {
+	f.Add([]byte{0, byte(OpCPUID), 3, 1})
+	f.Add([]byte{1, byte(OpSMPWake), 0, 0, byte(OpTimer), 9, 0})
+	f.Add([]byte{2, byte(OpHypercall), 12, 0, byte(OpMSR), 5, 5})
+	f.Add([]byte{3, byte(OpIPI), 0, 0, byte(OpCompute), 200, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64] // keep per-input machine runs cheap
+		}
+		s := FromBytes(data)
+		if err := s.validate(); err != nil {
+			t.Fatalf("FromBytes produced an invalid schedule: %v", err)
+		}
+		enc := s.Encode()
+		dec, err := Decode(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v\n%s", err, enc)
+		}
+		if !bytes.Equal(dec.Encode(), enc) {
+			t.Fatalf("encoding is not canonical:\n%q\nvs\n%q", dec.Encode(), enc)
+		}
+		// The I/O ops dominate run time; the byte-mapper already bounds
+		// op count, so a full differential run stays fuzz-friendly.
+		if v := CheckSchedule(s, nil); v.Failed() {
+			t.Fatalf("fuzzed schedule inequivalent:\n%s\n%s", v, enc)
+		}
+	})
+}

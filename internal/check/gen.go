@@ -1,0 +1,67 @@
+package check
+
+import "math/rand"
+
+// opWeight is one row of the generator's op mix.
+type opWeight struct {
+	kind   OpKind
+	weight int
+}
+
+// genMix is tuned toward the exit-heavy ops the paper's protocols
+// accelerate, with enough I/O, timer, and interrupt traffic mixed in to
+// exercise the emergent nested paths (reflected MSR writes arming the
+// platform timer, §5.3 blocked-delivery IPIs, virtqueue kicks).
+var genMix = []opWeight{
+	{OpCPUID, 25},
+	{OpHypercall, 10},
+	{OpMSR, 10},
+	{OpCompute, 10},
+	{OpTimer, 10},
+	{OpNetPing, 10},
+	{OpBlkRead, 8},
+	{OpBlkWrite, 7},
+	{OpIPI, 5},
+	{OpSMPWake, 5},
+}
+
+// Generate emits the deterministic schedule for a seed: same seed, same
+// schedule, forever. Roughly one schedule in seven also enables a low
+// recoverable wakeup-drop fault rate, because transparency must survive
+// the watchdog/breaker recovery machinery too.
+func Generate(seed int64) *Schedule {
+	r := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, VCPUs: 1 + r.Intn(2)}
+	if r.Intn(7) == 0 {
+		s.WakeupDropRate = 0.05 + 0.15*r.Float64()
+	}
+	total := 0
+	for _, w := range genMix {
+		if w.kind == OpSMPWake && s.VCPUs < 2 {
+			continue
+		}
+		total += w.weight
+	}
+	n := 4 + r.Intn(16)
+	for i := 0; i < n; i++ {
+		pick := r.Intn(total)
+		var kind OpKind
+		for _, w := range genMix {
+			if w.kind == OpSMPWake && s.VCPUs < 2 {
+				continue
+			}
+			if pick < w.weight {
+				kind = w.kind
+				break
+			}
+			pick -= w.weight
+		}
+		s.Ops = append(s.Ops, Op{Kind: kind, A: uint64(r.Intn(1 << 12)), B: uint64(r.Intn(1 << 12))})
+	}
+	// Interrupt-flavored ops (IPI injection, timer arming) can leave a
+	// vector pending at the moment the previous op completes; a trailing
+	// CPUID burst forces more guest instruction boundaries so every mode
+	// drains its pending set before guest-done.
+	s.Ops = append(s.Ops, Op{Kind: OpCPUID, A: 1})
+	return s
+}

@@ -1,0 +1,17 @@
+package check
+
+// FNV-1a folding for the outcome digests (same parameters as
+// machine.StateDigest; duplicated to keep the packages decoupled).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvWord(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	return h
+}

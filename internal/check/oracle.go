@@ -1,0 +1,108 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"svtsim/internal/hv"
+)
+
+// Diff is one observed inequivalence between the reference (baseline)
+// outcome and another mode's outcome.
+type Diff struct {
+	Mode  hv.Mode
+	Field string
+	Want  string // baseline observation
+	Got   string // this mode's observation
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%v: %s: got %s, want %s", d.Mode, d.Field, d.Got, d.Want)
+}
+
+// Verdict is the oracle's judgment of one schedule.
+type Verdict struct {
+	Schedule *Schedule
+	Outcomes []Outcome
+	Diffs    []Diff
+}
+
+// Failed reports whether the schedule exposed an inequivalence.
+func (v *Verdict) Failed() bool { return len(v.Diffs) > 0 }
+
+func (v *Verdict) String() string {
+	if !v.Failed() {
+		return fmt.Sprintf("ok: seed %d, %d ops [%s]", v.Schedule.Seed, len(v.Schedule.Ops),
+			strings.Join(v.Schedule.sortedKinds(), " "))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "FAIL: seed %d, %d ops\n", v.Schedule.Seed, len(v.Schedule.Ops))
+	for _, d := range v.Diffs {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// CheckSchedule runs s under every mode and compares each outcome to the
+// baseline reference. Equality is required for everything in Outcome
+// except mode-owned noise the type already excludes by construction.
+func CheckSchedule(s *Schedule, opts *RunOpts) *Verdict {
+	v := &Verdict{Schedule: s}
+	for _, mode := range opts.modes() {
+		v.Outcomes = append(v.Outcomes, RunSchedule(s, mode, opts))
+	}
+	if len(v.Outcomes) == 0 {
+		return v
+	}
+	ref := v.Outcomes[0]
+	for _, d := range ref.Invariants {
+		v.Diffs = append(v.Diffs, Diff{Mode: ref.Mode, Field: "invariant", Want: "none", Got: d})
+	}
+	if ref.Panic != "" {
+		v.Diffs = append(v.Diffs, Diff{Mode: ref.Mode, Field: "panic", Want: "none", Got: ref.Panic})
+	}
+	for _, out := range v.Outcomes[1:] {
+		v.Diffs = append(v.Diffs, diffOutcomes(ref, out)...)
+	}
+	return v
+}
+
+func diffOutcomes(ref, out Outcome) []Diff {
+	var diffs []Diff
+	add := func(field, want, got string) {
+		diffs = append(diffs, Diff{Mode: out.Mode, Field: field, Want: want, Got: got})
+	}
+	if out.Panic != ref.Panic {
+		add("panic", orNone(ref.Panic), orNone(out.Panic))
+	}
+	if out.Completed != ref.Completed {
+		add("completed", fmt.Sprint(ref.Completed), fmt.Sprint(out.Completed))
+	}
+	if out.OpDigest != ref.OpDigest {
+		add("op-digest", fmt.Sprintf("%#016x", ref.OpDigest), fmt.Sprintf("%#016x", out.OpDigest))
+	}
+	if out.MachineDigest != ref.MachineDigest {
+		add("machine-digest", fmt.Sprintf("%#016x", ref.MachineDigest), fmt.Sprintf("%#016x", out.MachineDigest))
+	}
+	for vec := range ref.IRQs {
+		if out.IRQs[vec] != ref.IRQs[vec] {
+			add(fmt.Sprintf("irq[%#x]", vec), fmt.Sprint(ref.IRQs[vec]), fmt.Sprint(out.IRQs[vec]))
+		}
+	}
+	for _, r := range ComparableExits {
+		if out.Exits[r] != ref.Exits[r] {
+			add("exits["+r.String()+"]", fmt.Sprint(ref.Exits[r]), fmt.Sprint(out.Exits[r]))
+		}
+	}
+	for _, inv := range out.Invariants {
+		add("invariant", "none", inv)
+	}
+	return diffs
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

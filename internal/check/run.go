@@ -1,0 +1,320 @@
+package check
+
+import (
+	"fmt"
+
+	"svtsim/internal/apic"
+	"svtsim/internal/fault"
+	"svtsim/internal/guest"
+	"svtsim/internal/hv"
+	"svtsim/internal/isa"
+	"svtsim/internal/machine"
+	"svtsim/internal/netsim"
+	"svtsim/internal/sim"
+	"svtsim/internal/virtio"
+	"svtsim/internal/workload"
+)
+
+// AllModes is the mode set the oracle compares, in comparison order: the
+// baseline trap/resume path is the reference, the SVt variants must be
+// indistinguishable from it.
+var AllModes = []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt, hv.ModeHWSVtBypass}
+
+// ComparableExits are the exit reasons whose L1-visible multiset must
+// match across modes: the architecturally unconditional traps plus the
+// traps vmcs12 configures. Timing- and mode-owned reasons (HLT wakeups,
+// external interrupts, VMX housekeeping, SVT_BLOCKED) are excluded — their
+// counts legitimately differ between protocols.
+var ComparableExits = []isa.ExitReason{
+	isa.ExitCPUID,
+	isa.ExitMSRRead,
+	isa.ExitMSRWrite,
+	isa.ExitAPICWrite,
+	isa.ExitEPTMisconfig,
+	isa.ExitVMCall,
+}
+
+// Outcome is everything a schedule run exposes to the equivalence oracle.
+type Outcome struct {
+	Mode hv.Mode
+	// Completed is false when the run panicked, deadlocked, or the L2
+	// body never reached its end.
+	Completed bool
+	// OpDigest folds the guest-visible result stream of every op: CPUID
+	// register values, hypercall and RDMSR returns, virtio payload bytes,
+	// timer/IPI delivery deltas.
+	OpDigest uint64
+	// MachineDigest is machine.StateDigest at end of run.
+	MachineDigest uint64
+	// IRQs counts interrupt deliveries into the L2 kernel, per vector.
+	IRQs [256]uint64
+	// Exits is the L1-visible exit multiset over ComparableExits: the
+	// guest hypervisor's run-loop profile plus (under SW SVt) the exits
+	// its SVt-thread serviced off the command ring.
+	Exits [isa.NumExitReasons]uint64
+	// Invariants lists DESIGN §6 violations observed at op boundaries.
+	Invariants []string
+	// Panic carries the recovered panic message, if any.
+	Panic string
+}
+
+// RunOpts tweak a differential run.
+type RunOpts struct {
+	// Modes overrides AllModes.
+	Modes []hv.Mode
+	// Mutate runs against each freshly built machine before the workload
+	// starts; tests use it to sabotage one mode (e.g. arm the
+	// DropOwnedExit hook) and watch the oracle catch it.
+	Mutate func(mode hv.Mode, m *machine.Machine)
+}
+
+func (o *RunOpts) modes() []hv.Mode {
+	if o != nil && len(o.Modes) > 0 {
+		return o.Modes
+	}
+	return AllModes
+}
+
+// maxInvariantReports bounds the violation list so a broken invariant in
+// a hot loop cannot balloon outcomes.
+const maxInvariantReports = 16
+
+// RunSchedule executes one schedule under one mode on a fresh machine
+// and collects its outcome. It never lets a panic escape: a crashed run
+// is an outcome with Panic set, which the oracle treats as inequivalent
+// to a completed one.
+func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
+	out := Outcome{Mode: mode}
+	cfg := machine.DefaultConfig(mode)
+	cfg.Seed = s.Seed
+	if s.WakeupDropRate > 0 {
+		// Only the recoverable wakeup-drop site is armed: the watchdog
+		// retries and the breaker's baseline fallback must hide it.
+		cfg.Faults = &fault.Spec{Seed: s.Seed, Sites: []fault.SiteConfig{
+			{Site: fault.SiteSVtWakeup, Rate: s.WakeupDropRate, Drop: true},
+		}}
+	}
+	useIO := s.UsesNet() || s.UsesBlk()
+	io := &machine.IOStack{}
+	if useIO {
+		io = machine.WireNestedIO(&cfg, machine.DefaultIOParams())
+	}
+	m := machine.NewNested(cfg)
+	if s.UsesNet() {
+		// RespSize <= 0 echoes the request verbatim, so response payloads
+		// feed end-to-end integrity into the digest.
+		io.NIC.Peer = &netsim.EchoPeer{
+			Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
+			ServiceTime: 5 * sim.Microsecond,
+		}
+	}
+	if opts != nil && opts.Mutate != nil {
+		opts.Mutate(mode, m)
+	}
+
+	it := &interp{s: s, m: m, dig: fnvOffset}
+	m.InstallL2(io, s.UsesNet(), s.UsesBlk(), it.body)
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out.Panic = fmt.Sprint(r)
+			}
+		}()
+		m.Run()
+	}()
+	m.Shutdown()
+
+	out.Completed = out.Panic == "" && it.finished && !m.L0.DeadlockDetected
+	out.OpDigest = it.dig
+	out.IRQs = it.irqs
+	out.MachineDigest = m.StateDigest()
+	for _, r := range ComparableExits {
+		n := m.L1HV.Prof.Count[r]
+		if m.SVtThread != nil {
+			n += m.SVtThread.HandledByReason[r]
+		}
+		out.Exits[r] = n
+	}
+	out.Invariants = it.invs
+	for _, err := range m.CheckInvariants() {
+		if len(out.Invariants) >= maxInvariantReports {
+			break
+		}
+		out.Invariants = append(out.Invariants, "end: "+err.Error())
+	}
+	// Mode-conditional DESIGN §6 invariants: the SVt mechanisms must not
+	// leak into modes that don't own them.
+	st := &m.Core.Stats
+	switch mode {
+	case hv.ModeBaseline:
+		if st.StallResumes != 0 || st.CtxtAccesses != 0 {
+			out.Invariants = append(out.Invariants, fmt.Sprintf(
+				"end: baseline run used SVt hardware (stall-resumes=%d ctxt-accesses=%d)",
+				st.StallResumes, st.CtxtAccesses))
+		}
+	case hv.ModeHWSVt, hv.ModeHWSVtBypass:
+		if st.ThunkRegMoves != 0 {
+			out.Invariants = append(out.Invariants, fmt.Sprintf(
+				"end: HW SVt run thunked registers through memory (%d moves)", st.ThunkRegMoves))
+		}
+	}
+	return out
+}
+
+// interp executes a schedule's ops inside the L2 guest body.
+type interp struct {
+	s *Schedule
+	m *machine.Machine
+
+	dig      uint64
+	irqs     [256]uint64
+	netRecv  uint64
+	invs     []string
+	finished bool
+}
+
+func (it *interp) add(x uint64) { it.dig = fnvWord(it.dig, x) }
+
+func (it *interp) addBytes(p []byte) {
+	for _, b := range p {
+		it.dig ^= uint64(b)
+		it.dig *= fnvPrime
+	}
+}
+
+func (it *interp) violate(where string, err error) {
+	if len(it.invs) < maxInvariantReports {
+		it.invs = append(it.invs, where+": "+err.Error())
+	}
+}
+
+func (it *interp) body(env *guest.Env) {
+	// Count every vector the L2 kernel handles; the delivered-interrupt
+	// sets must agree across modes. InstallL2 already chained driver
+	// dispatch + the trapped EOI — keep both running after the count.
+	prev := env.Port.IRQHandler
+	env.Port.IRQHandler = func(vec int) {
+		if vec >= 0 && vec < 256 {
+			it.irqs[vec]++
+		}
+		prev(vec)
+	}
+	if env.Net != nil {
+		prevRecv := env.Net.OnReceive
+		env.Net.OnReceive = func(pkt []byte) {
+			it.netRecv++
+			it.add(uint64(len(pkt)))
+			it.addBytes(pkt)
+			if prevRecv != nil {
+				prevRecv(pkt)
+			}
+		}
+	}
+	for i, op := range it.s.Ops {
+		it.add(uint64(i)<<8 | uint64(op.Kind))
+		it.exec(env, op)
+		it.boundary(env, i)
+	}
+	it.finished = true
+}
+
+// boundary runs the live invariant sweep between ops.
+func (it *interp) boundary(env *guest.Env, i int) {
+	where := fmt.Sprintf("op %d (%s)", i, it.s.Ops[i].Kind)
+	for _, err := range it.m.CheckInvariants() {
+		it.violate(where, err)
+	}
+	if env.Net != nil {
+		for _, q := range []*virtio.Queue{env.Net.TX, env.Net.RX} {
+			if err := q.CheckInvariants(); err != nil {
+				it.violate(where, err)
+			}
+		}
+	}
+	if env.Blk != nil {
+		if err := env.Blk.Q.CheckInvariants(); err != nil {
+			it.violate(where, err)
+		}
+	}
+}
+
+func (it *interp) exec(env *guest.Env, op Op) {
+	switch op.Kind {
+	case OpCPUID:
+		n := 1 + int(op.A%8)
+		base := uint32(op.B % 1024)
+		core, ctx := env.Port.Core(), env.Port.Ctx
+		for j := 0; j < n; j++ {
+			it.add(env.Port.Exec(isa.CPUID(base + uint32(j))))
+			it.add(core.ReadGPR(ctx, isa.RBX))
+			it.add(core.ReadGPR(ctx, isa.RCX))
+			it.add(core.ReadGPR(ctx, isa.RDX))
+		}
+
+	case OpHypercall:
+		// Qualifications 0x100.. stay clear of the protocol quals
+		// (guest-done, thread pairing) the hypervisors interpret.
+		qual := 0x100 + op.A%64
+		it.add(env.Port.Exec(isa.Instr{Op: isa.OpVMCall, Val: qual}))
+
+	case OpMSR:
+		val := op.A<<16 ^ op.B ^ 0x1CB
+		env.Port.Exec(isa.WRMSR(isa.MSRX2APICICR, val))
+		it.add(env.Port.Exec(isa.RDMSR(isa.MSRX2APICICR)))
+
+	case OpCompute:
+		env.Compute(sim.Time(1 + op.A%4096))
+
+	case OpTimer:
+		t := env.Timer
+		before := t.Fired()
+		t.Arm(env.Now() + sim.Time(1+op.A%50)*sim.Microsecond)
+		// Wait for the actual delivery, not just the deadline: the fire
+		// reaches the L2 kernel through a mode-dependent number of
+		// boundaries, and the delivered count must not race guest-done.
+		env.WaitFor(func() bool { return t.Fired() > before })
+		it.add(t.Fired() - before)
+
+	case OpNetPing:
+		want := it.netRecv + 1
+		pkt := make([]byte, 1+op.A%256)
+		for i := range pkt {
+			pkt[i] = byte(op.B + uint64(i)*7)
+		}
+		if err := env.Net.Send(pkt, func() {}); err != nil {
+			it.add(^uint64(0))
+			return
+		}
+		env.WaitFor(func() bool { return it.netRecv >= want })
+
+	case OpBlkRead:
+		data, ok := env.Blk.Read(op.A%4096, int(1+op.B%8)*512)
+		it.add(boolWord(ok))
+		it.addBytes(data)
+
+	case OpBlkWrite:
+		data := make([]byte, int(1+op.B%8)*512)
+		for i := range data {
+			data[i] = byte(op.A + uint64(i)*13)
+		}
+		it.add(boolWord(env.Blk.Write(op.A%4096, data)))
+
+	case OpIPI:
+		before := it.irqs[apic.VecIPI]
+		it.m.L1HV.InjectIRQ(it.m.VC12, apic.VecIPI)
+		env.WaitFor(func() bool { return it.irqs[apic.VecIPI] > before })
+		it.add(it.irqs[apic.VecIPI] - before)
+
+	case OpSMPWake:
+		workload.SMPWake(env)
+		it.add(1)
+	}
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

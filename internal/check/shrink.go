@@ -1,0 +1,90 @@
+package check
+
+import "fmt"
+
+// maxShrinkRuns bounds the number of candidate schedules the shrinker
+// evaluates; each evaluation runs the full mode set, so this is the
+// expensive knob.
+const maxShrinkRuns = 400
+
+// Shrink greedily minimizes a failing schedule while it keeps failing
+// under the same options. It first removes op chunks (ddmin-style,
+// halving the chunk size down to single ops), then minimizes each
+// remaining op's arguments. The result still fails; the original is
+// returned untouched if nothing smaller fails.
+func Shrink(s *Schedule, opts *RunOpts) *Schedule {
+	runs := 0
+	fails := func(c *Schedule) bool {
+		if runs >= maxShrinkRuns {
+			return false
+		}
+		runs++
+		return CheckSchedule(c, opts).Failed()
+	}
+	cur := s.clone()
+
+	// Phase 1: chunk removal.
+	for chunk := len(cur.Ops) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur.Ops); {
+			if len(cur.Ops) <= 1 {
+				break
+			}
+			cand := cur.clone()
+			end := start + chunk
+			if end > len(cand.Ops) {
+				end = len(cand.Ops)
+			}
+			cand.Ops = append(cand.Ops[:start:start], cand.Ops[end:]...)
+			if len(cand.Ops) > 0 && fails(cand) {
+				cur = cand // same start index now names the next chunk
+			} else {
+				start += chunk
+			}
+		}
+	}
+
+	// Phase 2: argument minimization — drive A and B toward zero, and
+	// fault injection off, halving the distance each accepted step.
+	if cur.WakeupDropRate > 0 {
+		cand := cur.clone()
+		cand.WakeupDropRate = 0
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	for i := range cur.Ops {
+		for _, arg := range []int{0, 1} {
+			for {
+				val := cur.Ops[i].A
+				if arg == 1 {
+					val = cur.Ops[i].B
+				}
+				if val == 0 {
+					break
+				}
+				cand := cur.clone()
+				if arg == 0 {
+					cand.Ops[i].A = val / 2
+				} else {
+					cand.Ops[i].B = val / 2
+				}
+				if !fails(cand) {
+					break
+				}
+				cur = cand
+			}
+		}
+	}
+	return cur
+}
+
+func (s *Schedule) clone() *Schedule {
+	c := *s
+	c.Ops = append([]Op(nil), s.Ops...)
+	return &c
+}
+
+// ReproName is the canonical repro filename for a schedule.
+func ReproName(s *Schedule) string {
+	return fmt.Sprintf("repro-%d.sched", s.Seed)
+}

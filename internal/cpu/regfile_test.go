@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"svtsim/internal/isa"
+	"svtsim/internal/qcheck"
 )
 
 func TestRegFileReadWrite(t *testing.T) {
@@ -104,7 +105,7 @@ func TestRegFileSemanticsProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 150)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"svtsim/internal/mem"
+	"svtsim/internal/qcheck"
 )
 
 const pg = mem.PageSize
@@ -254,7 +255,7 @@ func TestComposeMatchesSequentialWalk(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 100)); err != nil {
 		t.Fatal(err)
 	}
 }

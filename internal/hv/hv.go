@@ -100,6 +100,17 @@ type VCPU struct {
 	obsLabel obs.Label
 }
 
+// MSRSnapshot returns a copy of the vCPU's emulated MSR store (the
+// architectural values a guest reads back through trapped RDMSRs). The
+// differential harness folds it into the end-of-run state digest.
+func (vc *VCPU) MSRSnapshot() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(vc.msrStore))
+	for k, v := range vc.msrStore {
+		out[k] = v
+	}
+	return out
+}
+
 // NewVCPU builds a vCPU record.
 func NewVCPU(name string, ctx cpu.ContextID, v *vmcs.VMCS, g cpu.Guest, lvl int) *VCPU {
 	return &VCPU{
@@ -180,6 +191,13 @@ type Hypervisor struct {
 	// NoVMCSShadowing disables hardware VMCS shadowing (ablation): every
 	// guest-hypervisor VMREAD/VMWRITE then traps.
 	NoVMCSShadowing bool
+
+	// DropOwnedExit is a test hook for the differential harness: when it
+	// returns true for a nested exit the guest hypervisor owns, L0 handles
+	// the exit itself instead of delivering it — a deliberately broken
+	// reflection the equivalence oracle must catch. Never set in
+	// production paths.
+	DropOwnedExit func(e *isa.Exit) bool
 
 	Prof Profile
 	// NestedProf attributes L0 handling time to the nested guest's exit

@@ -153,7 +153,7 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 		if h.Mode == ModeHWSVtBypass &&
 			e2.Reason != isa.ExitExternalInterrupt &&
 			!(e2.Reason == isa.ExitVMCall && e2.Qualification == cpu.QualGuestDone) &&
-			h.ownedByL1(ns, e2) {
+			h.ownedByL1(ns, e2) && !h.dropOwned(e2) {
 			// Hardware keeps the guest-state view coherent (same physical
 			// registers and fields), so the sync is free.
 			vmcs.ToVirtual(ns.Vmcs12, ns.Vmcs02)
@@ -193,7 +193,7 @@ func (h *Hypervisor) handleVMResume(vc *VCPU, e *isa.Exit) bool {
 			// Nothing for L1: resume L2 directly.
 			h.recordNested(ns.L2VCPU, e2, tHandle)
 
-		case h.ownedByL1(ns, e2):
+		case h.ownedByL1(ns, e2) && !h.dropOwned(e2):
 			handled := h.deliverToL1(vc, ns, e2)
 			h.recordNested(ns.L2VCPU, e2, tHandle)
 			if h.Mode == ModeSWSVt && handled {
@@ -260,6 +260,15 @@ func (h *Hypervisor) deliverToL1(vc *VCPU, ns *NestedState, e2 *isa.Exit) bool {
 		h.SWFallbacks.Inc()
 	}
 	return false
+}
+
+// dropOwned consults the DropOwnedExit test hook; a dropped exit falls
+// through to the default arm of the nested dispatch, where L0 emulates it
+// against vmcs02 and the guest hypervisor never sees it. The guest's
+// register results stay identical (the emulation code is shared), so only
+// a whole-machine equivalence check can notice the lost delivery.
+func (h *Hypervisor) dropOwned(e2 *isa.Exit) bool {
+	return h.DropOwnedExit != nil && h.DropOwnedExit(e2)
 }
 
 // ownedByL1 decides whether the guest hypervisor would have received this

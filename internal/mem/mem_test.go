@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+
+	"svtsim/internal/qcheck"
 )
 
 func TestReadZeroFill(t *testing.T) {
@@ -147,7 +149,7 @@ func TestMemoryMatchesReference(t *testing.T) {
 		}
 		return bytes.Equal(got, ref)
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -273,7 +275,7 @@ func TestAllocatorNoOverlapProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 100)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,28 @@
+package qcheck
+
+import "testing"
+
+func TestSeedDefault(t *testing.T) {
+	if s := Seed(t); s != DefaultSeed {
+		t.Fatalf("Seed = %d, want %d", s, DefaultSeed)
+	}
+}
+
+func TestSeedEnvOverride(t *testing.T) {
+	t.Setenv("QUICK_SEED", "12345")
+	if s := Seed(t); s != 12345 {
+		t.Fatalf("Seed = %d, want 12345", s)
+	}
+}
+
+func TestConfigDeterministic(t *testing.T) {
+	a, b := Config(t, 10), Config(t, 10)
+	if a.MaxCount != 10 {
+		t.Fatalf("MaxCount = %d", a.MaxCount)
+	}
+	for i := 0; i < 16; i++ {
+		if x, y := a.Rand.Uint64(), b.Rand.Uint64(); x != y {
+			t.Fatalf("draw %d: %d vs %d — same seed must give same stream", i, x, y)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"svtsim/internal/qcheck"
 )
 
 func TestTimeString(t *testing.T) {
@@ -272,7 +274,7 @@ func TestEventOrderProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"svtsim/internal/qcheck"
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
@@ -178,7 +180,7 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
 		return v1 <= v2+1e-9 && v1 >= Min(xs)-1e-9 && v2 <= Max(xs)+1e-9
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 300)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -211,7 +213,7 @@ func TestRejectOutliersSubsetProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 300)); err != nil {
 		t.Fatal(err)
 	}
 }

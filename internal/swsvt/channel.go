@@ -431,6 +431,11 @@ type SVtThread struct {
 	VC12 *hv.VCPU // L1's vCPU record for L2
 
 	Handled uint64
+	// HandledByReason breaks Handled down per exit reason. The SVt-thread
+	// services traps outside its hypervisor instance's run loop, so they
+	// never land in an hv.Profile; the differential oracle sums this with
+	// the main instance's profile to recover the L1-visible exit multiset.
+	HandledByReason [isa.NumExitReasons]uint64
 }
 
 // Body is the native-guest body of the SVt-thread. It pairs itself with
@@ -454,6 +459,7 @@ func (t *SVtThread) Body(p *cpu.Port) {
 		t.H1.Handle(t.VC12, e)
 		t.H1.PrepareResume(t.VC12)
 		t.Handled++
+		t.HandledByReason[e.Reason]++
 		t.pushResume(p)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"svtsim/internal/cost"
+	"svtsim/internal/qcheck"
 	"svtsim/internal/sim"
 )
 
@@ -101,7 +102,7 @@ func TestRingFIFOProperty(t *testing.T) {
 		}
 		return expect == next
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

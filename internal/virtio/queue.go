@@ -79,6 +79,11 @@ type Queue struct {
 	L   Layout
 	Mem MemIO
 
+	// driver records which side this handle plays (set from NewQueue's
+	// initDriver): the shadow-lag invariants are only decidable for the
+	// role that actually maintains the shadow.
+	driver bool
+
 	// Driver-side state (private to the driver in real implementations).
 	freeHead  uint16
 	numFree   uint16
@@ -102,7 +107,7 @@ func NewQueue(l Layout, mem MemIO, initDriver bool) (*Queue, error) {
 	if l.Size == 0 || l.Size&(l.Size-1) != 0 {
 		return nil, fmt.Errorf("virtio: queue size %d not a power of two", l.Size)
 	}
-	q := &Queue{L: l, Mem: mem, numFree: l.Size}
+	q := &Queue{L: l, Mem: mem, numFree: l.Size, driver: initDriver}
 	if initDriver {
 		for i := uint16(0); i < l.Size; i++ {
 			next := uint16(0)
@@ -304,4 +309,43 @@ func (q *Queue) PopUsed() (uint16, uint32, bool, error) {
 	q.freeHead = head
 	q.numFree += n
 	return head, length, true, nil
+}
+
+// CheckInvariants verifies the DESIGN §6 virtqueue invariants that are
+// decidable from one side's handle plus the shared rings in guest memory:
+// the published indices advance within the queue bound (in-flight chains
+// never exceed Size), and this handle's private shadows never run ahead
+// of what the other side published. It is cheap enough to run at every
+// op boundary of the differential harness.
+func (q *Queue) CheckInvariants() error {
+	pa, err := q.Mem.ReadU16(q.L.Avail + 2)
+	if err != nil {
+		return fmt.Errorf("virtio: avail index: %w", err)
+	}
+	pu, err := q.Mem.ReadU16(q.L.Used + 2)
+	if err != nil {
+		return fmt.Errorf("virtio: used index: %w", err)
+	}
+	if inflight := pa - pu; inflight > q.L.Size {
+		return fmt.Errorf("virtio: %d chains in flight exceeds queue size %d (avail=%d used=%d)",
+			inflight, q.L.Size, pa, pu)
+	}
+	if q.numFree > q.L.Size {
+		return fmt.Errorf("virtio: free count %d exceeds queue size %d", q.numFree, q.L.Size)
+	}
+	// Device side: consumed available entries must have been published.
+	if !q.driver {
+		if lag := pa - q.lastAvail; lag > q.L.Size {
+			return fmt.Errorf("virtio: device consumed past the published avail index (last=%d published=%d)",
+				q.lastAvail, pa)
+		}
+	}
+	// Driver side: reaped used entries must have been published.
+	if q.driver {
+		if lag := pu - q.lastUsed; lag > q.L.Size {
+			return fmt.Errorf("virtio: driver reaped past the published used index (last=%d published=%d)",
+				q.lastUsed, pu)
+		}
+	}
+	return nil
 }

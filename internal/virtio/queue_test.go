@@ -7,6 +7,7 @@ import (
 
 	"svtsim/internal/ept"
 	"svtsim/internal/mem"
+	"svtsim/internal/qcheck"
 )
 
 func testMem(t *testing.T) MemIO {
@@ -213,7 +214,7 @@ func TestQueueChainConservationProperty(t *testing.T) {
 		}
 		return i == len(posted)
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 100)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"svtsim/internal/isa"
+	"svtsim/internal/qcheck"
 )
 
 func TestNewDefaults(t *testing.T) {
@@ -292,7 +293,7 @@ func TestTransformRoundTripProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(prop, qcheck.Config(t, 100)); err != nil {
 		t.Fatal(err)
 	}
 }

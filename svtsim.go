@@ -22,6 +22,7 @@ package svtsim
 import (
 	"io"
 
+	"svtsim/internal/check"
 	"svtsim/internal/cost"
 	"svtsim/internal/exp"
 	"svtsim/internal/fault"
@@ -297,3 +298,19 @@ func ReportChannels(w io.Writer, quick bool) { report.Channels(w, quick) }
 
 // ReportProfiles prints the §6.2/§6.3 exit-reason profiles.
 func ReportProfiles(w io.Writer) { report.Profiles(w) }
+
+// --- Differential check layer: cross-mode equivalence ------------------
+
+// CheckSchedules generates and differentially checks n schedules from
+// consecutive seeds starting at seed, running each under every mode and
+// comparing guest-visible outcomes. Failing schedules are shrunk and
+// written as replayable repro files under dir (when non-empty). It
+// returns the number of inequivalent schedules found.
+func CheckSchedules(w io.Writer, n int, seed int64, dir string) int {
+	return check.RunBudget(w, n, seed, dir)
+}
+
+// ReplaySchedule decodes a schedule file (as written by CheckSchedules
+// or shipped in the regression corpus) and re-runs the differential
+// check on it, reporting any divergence.
+func ReplaySchedule(w io.Writer, path string) error { return check.ReplayFile(w, path) }
