@@ -133,10 +133,12 @@ func writeTraceArtifact(path string, quick bool) error {
 	if quick {
 		n = 100
 	}
-	svtsim.SetObs(&svtsim.ObsOptions{})
-	defer svtsim.SetObs(nil)
-	r := svtsim.NetLatency(svtsim.SWSVt, n)
-	plane := svtsim.LastObs()
+	sess, err := svtsim.NewSession(svtsim.WithObs(&svtsim.ObsOptions{}))
+	if err != nil {
+		return err
+	}
+	r := sess.NetLatency(svtsim.SWSVt, n)
+	plane := sess.LastObs()
 	if plane == nil {
 		return fmt.Errorf("svtbench: trace run captured no observability plane")
 	}

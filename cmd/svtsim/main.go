@@ -10,6 +10,15 @@
 //	svtsim -mode sw-svt   -workload tpcc -dur 1s
 //	svtsim -mode baseline -workload video -fps 120
 //
+// Fleet consolidation: -density packs k = 1..-vms nested VMs onto the
+// -host topology per mode, letting the simulated L0 scheduler place each
+// VM's threads, and reports per-VM latency under contention plus the max
+// density meeting the -slo p99 target. The sweep is byte-identical at
+// any -parallel width.
+//
+//	svtsim -host 2x8x2 -vms 16 -density
+//	svtsim -host 1x4x2 -vms 8 -density -slo 250 -parallel 8
+//
 // Observability: -trace out.json writes a Perfetto / chrome://tracing
 // timeline of the run (one track per hardware context), -metrics out.csv
 // dumps every registered counter, and -summary N prints a top-N
@@ -64,19 +73,6 @@ func buildFaultSpec(arg string, rate float64, seed int64) (*svtsim.FaultSpec, er
 	return spec, nil
 }
 
-func parseMode(s string) (svtsim.Mode, error) {
-	switch s {
-	case "baseline":
-		return svtsim.Baseline, nil
-	case "sw-svt", "sw":
-		return svtsim.SWSVt, nil
-	case "hw-svt", "hw":
-		return svtsim.HWSVt, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (baseline, sw-svt, hw-svt)", s)
-	}
-}
-
 func main() {
 	var (
 		modeStr   = flag.String("mode", "baseline", "system variant: baseline, sw-svt, hw-svt")
@@ -85,6 +81,11 @@ func main() {
 		dur       = flag.Duration("dur", time.Second, "duration (stream/memcached/tpcc)")
 		rate      = flag.Float64("rate", 10000, "offered load in requests/s (memcached)")
 		fps       = flag.Int("fps", 120, "frame rate (video)")
+		hostStr   = flag.String("host", "2x8x2", "host topology for -density: sockets x cores x SMT contexts")
+		vms       = flag.Int("vms", 0, "max packing level for -density (0 = the topology's context count)")
+		density   = flag.Bool("density", false, "run the fleet consolidation sweep across all modes, then exit")
+		slo       = flag.Float64("slo", 500, "p99 latency SLO in microseconds judged by -density")
+		par       = flag.Int("parallel", 0, "worker-pool width for sweeps (0 = GOMAXPROCS; results identical at any width)")
 		trace     = flag.String("trace", "", "write a Perfetto/chrome://tracing JSON timeline of the run to this file")
 		metrics   = flag.String("metrics", "", "write the metrics registry to this file (.json extension selects JSON, CSV otherwise)")
 		summary   = flag.Int("summary", 0, "print the top-N trace span summary after the run")
@@ -115,67 +116,85 @@ func main() {
 		return
 	}
 
-	mode, err := parseMode(*modeStr)
+	topo, err := svtsim.ParseHostTopology(*hostStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	opts := []svtsim.Option{svtsim.WithHostTopology(topo), svtsim.WithParallelism(*par)}
 	if spec, err := buildFaultSpec(*faults, *faultRate, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	} else if spec != nil {
 		fmt.Fprintf(os.Stderr, "fault plane armed: %s (seed %d)\n", spec, spec.Seed)
-		svtsim.SetFaults(spec)
+		opts = append(opts, svtsim.WithFaults(spec))
 	}
-	if *trace != "" || *metrics != "" || *summary > 0 {
-		svtsim.SetObs(&svtsim.ObsOptions{RingCap: *obsRing})
+	wantObs := *trace != "" || *metrics != "" || *summary > 0
+	if wantObs {
+		opts = append(opts, svtsim.WithObs(&svtsim.ObsOptions{RingCap: *obsRing}))
+	}
+	sess, err := svtsim.NewSession(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *density {
+		sess.ReportDensity(os.Stdout, *vms, *slo)
+		return
+	}
+
+	mode, err := svtsim.ParseMode(*modeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	d := svtsim.Time(dur.Nanoseconds())
 
 	switch *workload {
 	case "cpuid":
-		r := svtsim.CPUIDNested(mode, *n)
+		r := sess.CPUIDNested(mode, *n)
 		fmt.Printf("nested cpuid (%s): %v per instruction\n", mode, r.PerOp)
 		if *dumpExits > 0 {
-			for _, e := range svtsim.TraceNestedCPUID(mode, *n, *dumpExits) {
+			for _, e := range sess.TraceNestedCPUID(mode, *n, *dumpExits) {
 				fmt.Println(" ", e.String())
 			}
 		}
 	case "netrr":
-		r := svtsim.NetLatency(mode, *n)
+		r := sess.NetLatency(mode, *n)
 		fmt.Printf("netperf TCP_RR (%s): mean %.1f us, p99 %.1f us\n", mode, r.MeanUs, r.P99Us)
 	case "stream":
-		r := svtsim.NetBandwidth(mode, d)
+		r := sess.NetBandwidth(mode, d)
 		fmt.Printf("netperf TCP_STREAM (%s): %.0f Mbps\n", mode, r.Mbps)
 	case "diskrd":
-		r := svtsim.DiskLatency(mode, false, *n)
+		r := sess.DiskLatency(mode, false, *n)
 		fmt.Printf("ioping randread (%s): mean %.1f us\n", mode, r.MeanUs)
 	case "diskwr":
-		r := svtsim.DiskLatency(mode, true, *n)
+		r := sess.DiskLatency(mode, true, *n)
 		fmt.Printf("ioping randwrite (%s): mean %.1f us\n", mode, r.MeanUs)
 	case "memcached":
-		r := svtsim.Memcached(mode, *rate, d)
+		r := sess.Memcached(mode, *rate, d)
 		fmt.Printf("memcached ETC @%.0f q/s (%s): avg %.0f us, p99 %.0f us, served %d\n",
 			*rate, mode, r.AvgUs, r.P99Us, r.Served)
 	case "tpcc":
-		ktpm := svtsim.TPCC(mode, d)
+		ktpm := sess.TPCC(mode, d)
 		fmt.Printf("TPC-C (%s): %.2f ktpm\n", mode, ktpm)
 	case "video":
-		r := svtsim.VideoN(mode, *fps, *fps*60)
+		r := sess.VideoN(mode, *fps, *fps*60)
 		fmt.Printf("video %d FPS (%s): %d dropped / %d played (60 s)\n", *fps, mode, r.Dropped, r.Played)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
 
-	if *trace != "" || *metrics != "" || *summary > 0 {
-		writeObs(*trace, *metrics, *summary)
+	if wantObs {
+		writeObs(sess, *trace, *metrics, *summary)
 	}
 }
 
-// writeObs exports the last run's observability plane.
-func writeObs(tracePath, metricsPath string, summary int) {
-	plane := svtsim.LastObs()
+// writeObs exports the session's last observability plane.
+func writeObs(sess *svtsim.Session, tracePath, metricsPath string, summary int) {
+	plane := sess.LastObs()
 	if plane == nil {
 		fmt.Fprintln(os.Stderr, "observability: no plane captured (workload did not run an instrumented machine)")
 		os.Exit(1)

@@ -24,7 +24,7 @@ func main() {
 	fmt.Printf("  single level (L1):  %v per cpuid\n", single.PerOp)
 
 	var base svtsim.CPUIDResult
-	for _, mode := range svtsim.Modes {
+	for _, mode := range svtsim.AllModes() {
 		r := svtsim.CPUIDNested(mode, n)
 		switch mode {
 		case svtsim.Baseline:

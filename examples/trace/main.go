@@ -18,12 +18,16 @@ import (
 )
 
 func main() {
-	svtsim.SetObs(&svtsim.ObsOptions{})
+	sess, err := svtsim.NewSession(svtsim.WithObs(&svtsim.ObsOptions{}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
-	r := svtsim.CPUIDNested(svtsim.SWSVt, 300)
+	r := sess.CPUIDNested(svtsim.SWSVt, 300)
 	fmt.Printf("nested cpuid (sw-svt): %v per instruction\n", r.PerOp)
 
-	plane := svtsim.LastObs()
+	plane := sess.LastObs()
 
 	// The timeline: spans for VM exits, nested exits, reflections and
 	// wakeups; instants for ring pushes/pops, IRQs and IPIs.

@@ -1,0 +1,77 @@
+package check
+
+import (
+	"bytes"
+	"testing"
+
+	"svtsim/internal/hv"
+)
+
+// TestCoreCountTransparent pins the fleet-host transparency invariant the
+// cores dimension exists to check: the guest-visible outcome of a
+// schedule must not depend on how many host cores its IPIs travel
+// across. Cross-core delivery changes latency and the number of
+// external-interrupt exits — neither of which the nested guest may
+// observe beyond time.
+func TestCoreCountTransparent(t *testing.T) {
+	base := &Schedule{Seed: 21, VCPUs: 1, Ops: []Op{
+		{Kind: OpIPI},
+		{Kind: OpCPUID, A: 3, B: 5},
+		{Kind: OpTimer, A: 40},
+		{Kind: OpIPI, A: 1, B: 1},
+		{Kind: OpCPUID, A: 1},
+	}}
+	for _, mode := range hv.AllModes() {
+		var ref Outcome
+		for _, cores := range []int{1, 2, 4, 8} {
+			s := base.clone()
+			s.Cores = cores
+			out := RunSchedule(s, mode, nil)
+			if !out.Completed {
+				t.Fatalf("%v cores=%d: run did not complete (panic=%q invariants=%v)",
+					mode, cores, out.Panic, out.Invariants)
+			}
+			if len(out.Invariants) != 0 {
+				t.Fatalf("%v cores=%d: invariant violations: %v", mode, cores, out.Invariants)
+			}
+			if cores == 1 {
+				ref = out
+				continue
+			}
+			if out.OpDigest != ref.OpDigest {
+				t.Errorf("%v cores=%d: op digest %#x differs from single-core %#x",
+					mode, cores, out.OpDigest, ref.OpDigest)
+			}
+			if out.IRQs != ref.IRQs {
+				t.Errorf("%v cores=%d: delivered-IRQ set differs from single-core run", mode, cores)
+			}
+			if out.Exits != ref.Exits {
+				t.Errorf("%v cores=%d: L1-visible exit multiset differs from single-core run:\n%v\nvs\n%v",
+					mode, cores, out.Exits, ref.Exits)
+			}
+		}
+	}
+}
+
+// TestCoresScheduleRoundTrip pins the corpus compatibility contract: a
+// schedule using the multi-core host encodes its cores directive and
+// round-trips byte-identically; one that doesn't omits it, so
+// pre-existing corpus files are untouched by the new dimension.
+func TestCoresScheduleRoundTrip(t *testing.T) {
+	s := &Schedule{Seed: 7, VCPUs: 1, Cores: 4, Ops: []Op{{Kind: OpIPI}, {Kind: OpCPUID, A: 1}}}
+	enc := s.Encode()
+	dec, err := Decode(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Cores != 4 {
+		t.Fatalf("cores = %d after round-trip, want 4", dec.Cores)
+	}
+	if got := string(dec.Encode()); got != string(enc) {
+		t.Fatalf("round-trip not byte-identical:\n%s\nvs\n%s", got, enc)
+	}
+	s.Cores = 1
+	if str := string(s.Encode()); str != string((&Schedule{Seed: 7, VCPUs: 1, Ops: s.Ops}).Encode()) {
+		t.Fatalf("cores 1 must encode identically to the classic single-core form:\n%s", str)
+	}
+}

@@ -32,6 +32,12 @@ var genMix = []opWeight{
 func Generate(seed int64) *Schedule {
 	r := rand.New(rand.NewSource(seed))
 	s := &Schedule{Seed: seed, VCPUs: 1 + r.Intn(2)}
+	// The core count derives from the seed value itself, not the rng
+	// stream: pre-existing seeds keep their exact op sequences, and every
+	// third seed additionally routes its IPIs across a multi-core host.
+	if seed%3 == 0 {
+		s.Cores = 2 + int(seed/3%3)
+	}
 	if r.Intn(7) == 0 {
 		s.WakeupDropRate = 0.05 + 0.15*r.Float64()
 	}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"svtsim/internal/apic"
+	"svtsim/internal/cpu"
 	"svtsim/internal/fault"
 	"svtsim/internal/guest"
+	"svtsim/internal/host"
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
 	"svtsim/internal/machine"
@@ -18,7 +20,10 @@ import (
 // AllModes is the mode set the oracle compares, in comparison order: the
 // baseline trap/resume path is the reference, the SVt variants must be
 // indistinguishable from it.
-var AllModes = []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt, hv.ModeHWSVtBypass}
+//
+// Deprecated: use hv.AllModes, which returns a fresh slice that cannot
+// be mutated out from under a concurrent check run.
+var AllModes = hv.AllModes()
 
 // ComparableExits are the exit reasons whose L1-visible multiset must
 // match across modes: the architecturally unconditional traps plus the
@@ -72,7 +77,7 @@ func (o *RunOpts) modes() []hv.Mode {
 	if o != nil && len(o.Modes) > 0 {
 		return o.Modes
 	}
-	return AllModes
+	return hv.AllModes()
 }
 
 // maxInvariantReports bounds the violation list so a broken invariant in
@@ -99,6 +104,19 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 	if useIO {
 		io = machine.WireNestedIO(&cfg, machine.DefaultIOParams())
 	}
+	if s.Cores > 1 {
+		// The guest hypervisor's kernel routes the cross-core vector on to
+		// its nested VM, exactly like it routes its virtualized timer. In
+		// SW-SVt mode this wires the SVt-thread's hypervisor instance (the
+		// main vCPU's kernel is parked in its blocked VMRESUME).
+		prevWireL1 := cfg.WireL1
+		cfg.WireL1 = func(m *machine.Machine, h1 *hv.Hypervisor, plat *hv.VirtualPlatform, port *cpu.Port) {
+			if prevWireL1 != nil {
+				prevWireL1(m, h1, plat, port)
+			}
+			h1.VectorRoute[apic.VecIPI] = m.VC12
+		}
+	}
 	m := machine.NewNested(cfg)
 	if s.UsesNet() {
 		// RespSize <= 0 echoes the request verbatim, so response payloads
@@ -113,6 +131,35 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 	}
 
 	it := &interp{s: s, m: m, dig: fnvOffset}
+	if s.Cores > 1 {
+		// Graft a multi-core host onto the machine's engine: the guest
+		// stack occupies core 0 and OpIPI becomes a genuine cross-core
+		// IPI from the farthest core, crossing the apic plane with
+		// cross-core latency before injection at the L1 boundary.
+		topo := host.Topology{Sockets: 1, CoresPerSocket: s.Cores, ThreadsPerCore: 2}
+		hst, err := host.NewOn(m.Eng, topo, host.DefaultParams())
+		if err != nil {
+			out.Panic = err.Error()
+			return out
+		}
+		// Arrival lands on the machine's physical LAPIC and rides the
+		// normal external-interrupt path, two levels of kernel routing
+		// deep — L0 delivers to the guest hypervisor's serving vCPU, whose
+		// kernel re-routes to the nested VM (the WireL1 hook above) — the
+		// same chain the virtualized timer rides. Injecting into a virtual
+		// LAPIC straight from event context would be invisible to the idle
+		// loops, which only watch the physical interrupt plane.
+		target := m.VcpuL1
+		if mode == hv.ModeSWSVt {
+			target = m.VcpuSVt
+		}
+		m.L0.VectorRoute[apic.VecIPI] = target
+		hst.OnIPI(0, func(vec int) {
+			hst.LAPIC(0).Ack(vec)
+			m.Core.LAPIC(cpu.ContextID(0)).Deliver(vec)
+		})
+		it.host = hst
+	}
 	m.InstallL2(io, s.UsesNet(), s.UsesBlk(), it.body)
 
 	func() {
@@ -164,8 +211,9 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 
 // interp executes a schedule's ops inside the L2 guest body.
 type interp struct {
-	s *Schedule
-	m *machine.Machine
+	s    *Schedule
+	m    *machine.Machine
+	host *host.Host // non-nil when the schedule models >1 core
 
 	dig      uint64
 	irqs     [256]uint64
@@ -302,7 +350,14 @@ func (it *interp) exec(env *guest.Env, op Op) {
 
 	case OpIPI:
 		before := it.irqs[apic.VecIPI]
-		it.m.L1HV.InjectIRQ(it.m.VC12, apic.VecIPI)
+		if it.host != nil {
+			// The farthest core sends a real cross-core IPI; its arrival
+			// at core 0's LAPIC injects at the L1 boundary.
+			from := it.host.Topo.Ctx(0, it.s.Cores-1, 0)
+			it.host.SendIPI(from, 0, apic.VecIPI)
+		} else {
+			it.m.L1HV.InjectIRQ(it.m.VC12, apic.VecIPI)
+		}
 		env.WaitFor(func() bool { return it.irqs[apic.VecIPI] > before })
 		it.add(it.irqs[apic.VecIPI] - before)
 

@@ -92,6 +92,14 @@ type Schedule struct {
 	Seed int64
 	// VCPUs is the number of L2 vCPUs the schedule assumes (1 or 2).
 	VCPUs int
+	// Cores is the number of physical host cores the run models (1..8;
+	// 0 and 1 both mean the classic single-core run). With more than one
+	// core, OpIPI travels as a real cross-core IPI through the host apic
+	// plane — distance-dependent latency, fault-plane exposure — before
+	// it is injected at the L1 boundary. The guest-visible outcome must
+	// be invariant to this: transparency cannot depend on how far the
+	// interrupt travelled.
+	Cores int
 	// WakeupDropRate, when nonzero, enables recoverable SVt wakeup-drop
 	// fault injection at this rate. Transparency must hold regardless:
 	// the watchdog/breaker machinery recovers without the nested guest
@@ -124,6 +132,11 @@ func (s *Schedule) Encode() []byte {
 	fmt.Fprintf(&b, "svtsched v1\n")
 	fmt.Fprintf(&b, "seed %d\n", s.Seed)
 	fmt.Fprintf(&b, "vcpus %d\n", s.VCPUs)
+	// Only emitted when the schedule actually uses the multi-core host,
+	// so pre-existing corpus files round-trip byte-identically.
+	if s.Cores > 1 {
+		fmt.Fprintf(&b, "cores %d\n", s.Cores)
+	}
 	if s.WakeupDropRate > 0 {
 		fmt.Fprintf(&b, "faults wakeup-drop %s\n", strconv.FormatFloat(s.WakeupDropRate, 'g', -1, 64))
 	}
@@ -176,6 +189,15 @@ func Decode(r io.Reader) (*Schedule, error) {
 				return nil, fmt.Errorf("check: line %d: vcpus must be 1 or 2", line)
 			}
 			s.VCPUs = v
+		case "cores":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("check: line %d: cores wants 1 argument", line)
+			}
+			v, err := strconv.Atoi(f[1])
+			if err != nil || v < 1 || v > 8 {
+				return nil, fmt.Errorf("check: line %d: cores must be in 1..8", line)
+			}
+			s.Cores = v
 		case "faults":
 			if len(f) != 3 || f[1] != "wakeup-drop" {
 				return nil, fmt.Errorf("check: line %d: only \"faults wakeup-drop <rate>\" is supported", line)
@@ -251,6 +273,9 @@ func FromBytes(data []byte) *Schedule {
 	}
 	if data[0]&2 != 0 {
 		s.WakeupDropRate = 0.25
+	}
+	if data[0]&4 != 0 {
+		s.Cores = 2 + int(data[0]>>3)%3
 	}
 	data = data[1:]
 	const maxOps = 12

@@ -44,10 +44,18 @@ func Shrink(s *Schedule, opts *RunOpts) *Schedule {
 	}
 
 	// Phase 2: argument minimization — drive A and B toward zero, and
-	// fault injection off, halving the distance each accepted step.
+	// fault injection and the multi-core host off, halving the distance
+	// each accepted step.
 	if cur.WakeupDropRate > 0 {
 		cand := cur.clone()
 		cand.WakeupDropRate = 0
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	if cur.Cores > 1 {
+		cand := cur.clone()
+		cand.Cores = 0
 		if fails(cand) {
 			cur = cand
 		}

@@ -48,20 +48,20 @@ func (g *computeCpuidLoop) DeliverIRQ(int) {}
 // across workload sizes. The cells are independent machines, so the sweep
 // fans out on the worker pool; the result order is the cross-product
 // order regardless of pool width.
-func ChannelStudy(n int, workloads []sim.Time) []ChannelPoint {
+func (s *Session) ChannelStudy(n int, workloads []sim.Time) []ChannelPoint {
 	policies := []swsvt.Policy{swsvt.PolicyPoll, swsvt.PolicyMwait, swsvt.PolicyMutex}
 	places := []swsvt.Placement{swsvt.PlaceSMT, swsvt.PlaceCrossCore, swsvt.PlaceCrossNUMA}
 	cells := len(policies) * len(places) * len(workloads)
-	return parallel.Map(cells, func(i int) ChannelPoint {
+	return parallel.MapN(s.Workers(), cells, func(i int) ChannelPoint {
 		pol := policies[i/(len(places)*len(workloads))]
 		place := places[i/len(workloads)%len(places)]
 		wl := workloads[i%len(workloads)]
-		cfg := config(hv.ModeSWSVt)
+		cfg := s.config(hv.ModeSWSVt)
 		cfg.WaitPolicy = pol
 		cfg.Placement = place
 		m := machine.NewNested(cfg)
 		m.SetL2Workload(&computeCpuidLoop{n: n, compute: wl})
-		run(m)
+		s.run(m)
 		m.Shutdown()
 		return ChannelPoint{
 			Policy:    pol,

@@ -1,0 +1,317 @@
+package exp
+
+import (
+	"sync"
+
+	"svtsim/internal/guest"
+	"svtsim/internal/host"
+	"svtsim/internal/hv"
+	"svtsim/internal/machine"
+	"svtsim/internal/netsim"
+	"svtsim/internal/parallel"
+	"svtsim/internal/sim"
+	"svtsim/internal/stats"
+	"svtsim/internal/swsvt"
+	"svtsim/internal/workload"
+)
+
+// The density experiments are the fleet-level version of Figures 6–8:
+// pack k nested VMs onto the session's host topology, let the L0
+// scheduler place each VM's threads (a SW-SVt VM is a two-thread gang —
+// its placement class emerges from which contexts were free), and
+// measure per-VM latency and aggregate throughput under contention.
+//
+// The model runs in two phases. Phase 1 simulates each VM's workload
+// uncontended on its own machine, with the scheduler-chosen placement
+// class feeding the SW-SVt cost model; these runs are independent, so
+// they fan out on the worker pool and are cached per (VM, placement).
+// Phase 2 replays all VMs' execution demands on the shared host engine
+// (host.Scheduler.Replay): quantum-based CPU sharing, SMT sibling
+// interference, polling SVt-threads stealing sibling cycles, periodic
+// migrations with cross-core reschedule IPIs. The per-VM slowdown from
+// phase 2 dilates the phase-1 latency distribution — open-loop latency
+// under proportional-share slowdown scales with service time — and
+// deflates throughput. Both phases are RNG-free given the workload
+// seeds, so a sweep is byte-identical at any pool width.
+
+// DensityVM is one VM's outcome at one packing level.
+type DensityVM struct {
+	VM       int
+	Workload string
+	Ctxs     []host.CtxID
+	Place    swsvt.Placement // meaningful for SW-SVt gangs only
+	P50Us    float64
+	P99Us    float64
+	// Throughput is the VM's operation rate under contention, in
+	// operations per simulated second.
+	Throughput float64
+	Slowdown   float64
+}
+
+// DensityPoint is one packing level: k VMs on the host in one mode.
+type DensityPoint struct {
+	Mode hv.Mode
+	K    int
+	VMs  []DensityVM
+
+	// WorstP50Us/WorstP99Us are the highest per-VM percentiles — the
+	// straggler VM the SLO judges.
+	WorstP50Us float64
+	WorstP99Us float64
+	// AggThroughput sums per-VM operation rates (ops/s).
+	AggThroughput float64
+
+	CoreUtilMean float64
+	StolenCycles sim.Time
+	Migrations   uint64
+	ReschedIPIs  uint64
+	IPIsSMT      uint64
+	IPIsCore     uint64
+	IPIsNUMA     uint64
+}
+
+// DensityResult is one mode's full packing sweep.
+type DensityResult struct {
+	Mode   hv.Mode
+	Topo   host.Topology
+	SLOUs  float64
+	Points []DensityPoint
+	// MaxDensity is the largest k whose worst per-VM p99 meets the SLO
+	// (0 if even one VM misses it).
+	MaxDensity int
+}
+
+// vmRun is one VM's phase-1 (uncontended) measurement.
+type vmRun struct {
+	workload string
+	latUs    []float64
+	ops      float64
+	busy     sim.Time
+	total    sim.Time
+	poll     bool
+	frac     float64
+}
+
+// vmKey identifies a cacheable phase-1 run: the same VM index at the
+// same placement class always reproduces the same run.
+type vmKey struct {
+	vm    int
+	place swsvt.Placement
+}
+
+// vmCache memoizes phase-1 runs across packing levels: VM i's
+// uncontended behaviour depends only on its workload (derived from i)
+// and placement class, so a sweep over k reuses runs instead of
+// resimulating O(k²) machines. Duplicate concurrent computes are
+// harmless — both produce the identical value.
+type vmCache struct {
+	mu sync.Mutex
+	m  map[vmKey]vmRun
+}
+
+func (c *vmCache) get(s *Session, mode hv.Mode, key vmKey) vmRun {
+	c.mu.Lock()
+	r, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return r
+	}
+	r = s.runDensityVM(mode, key.vm, key.place)
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+	return r
+}
+
+// densityWorkloadName reports which workload VM i runs (round-robin:
+// cpuid, netrr, memcached).
+func densityWorkloadName(i int) string {
+	switch i % 3 {
+	case 0:
+		return "cpuid"
+	case 1:
+		return "netrr"
+	default:
+		return "memcached"
+	}
+}
+
+// runDensityVM simulates VM i's workload uncontended with the given
+// SVt-thread placement class. Workload sizes vary deterministically
+// with the VM index so the fleet is heterogeneous.
+func (s *Session) runDensityVM(mode hv.Mode, i int, place swsvt.Placement) vmRun {
+	cfg := s.config(mode)
+	cfg.Placement = place
+	cfg.Seed = int64(1000 + i)
+	led := &sim.Ledger{}
+	r := vmRun{workload: densityWorkloadName(i)}
+
+	finish := func(m *machine.Machine) {
+		s.run(m)
+		m.Shutdown()
+		r.total = m.Now()
+		r.busy = led.Total()
+		if r.total > 0 {
+			r.frac = float64(led.T[sim.CatTransform]+led.T[sim.CatL1]) / float64(r.total)
+		}
+		r.poll = mode == hv.ModeSWSVt && cfg.WaitPolicy == swsvt.PolicyPoll
+	}
+
+	switch i % 3 {
+	case 0: // nested cpuid (Figure 6's microbenchmark)
+		n := 300 + 25*(i%4)
+		m := machine.NewNested(cfg)
+		m.Eng.SetLedger(led)
+		m.SetL2Workload(&cpuidLoop{n: n})
+		finish(m)
+		r.latUs = []float64{float64(r.total) / float64(n) / 1000}
+		r.ops = float64(n)
+	case 1: // netperf TCP_RR (Figure 7)
+		n := 60 + 5*(i%4)
+		io := machine.WireNestedIO(&cfg, machine.DefaultIOParams())
+		m := machine.NewNested(cfg)
+		m.Eng.SetLedger(led)
+		io.NIC.Peer = &netsim.EchoPeer{
+			Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
+			ServiceTime: 5 * sim.Microsecond, RespSize: 1,
+		}
+		w := &workload.NetRR{N: n, ReqSize: 1, TCPModel: true, SMP: true}
+		m.InstallL2(io, true, false, func(env *guest.Env) { w.Run(env) })
+		finish(m)
+		r.latUs = append([]float64(nil), w.Lat...)
+		r.ops = float64(n)
+	default: // memcached ETC (Figure 8)
+		rate := 20_000 + 2_500*float64(i%4)
+		d := 5 * sim.Millisecond
+		io := machine.WireNestedIO(&cfg, machine.DefaultIOParams())
+		m := machine.NewNested(cfg)
+		m.Eng.SetLedger(led)
+		srv := workload.DefaultMemcached(d + 100*sim.Millisecond)
+		m.InstallL2(io, true, false, func(env *guest.Env) { srv.Run(env) })
+		rng := sim.NewRand(int64(7 + i))
+		etc := workload.NewETC(sim.SplitRand(rng))
+		keyRng := sim.SplitRand(rng)
+		client := &netsim.OpenLoopClient{
+			Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
+			Payload: func() []byte {
+				return workload.EncodeMemcachedReq(uint64(keyRng.Intn(100000)), etc.IsGet(), etc.ValueSize())
+			},
+		}
+		io.NIC.Peer = client
+		client.Start(rate, m.Eng.Now()+d, rng.Float64)
+		finish(m)
+		r.latUs = append([]float64(nil), client.Lat...)
+		r.ops = float64(srv.Served)
+	}
+	return r
+}
+
+// gangSize reports a mode's runnable-thread footprint: SW-SVt pairs a
+// vCPU with its SVt-thread; baseline is one thread; HW-SVt's extra
+// contexts are per-core front-end state, not extra fetch targets, so it
+// is one thread too.
+func gangSize(mode hv.Mode) int {
+	if mode == hv.ModeSWSVt {
+		return 2
+	}
+	return 1
+}
+
+// Consolidation packs k nested VMs onto the session's topology in one
+// mode and measures them under contention (one DensitySweep point).
+func (s *Session) Consolidation(mode hv.Mode, k int) DensityPoint {
+	return s.consolidate(mode, k, &vmCache{m: make(map[vmKey]vmRun)})
+}
+
+func (s *Session) consolidate(mode hv.Mode, k int, cache *vmCache) DensityPoint {
+	topo := s.Topology()
+	h, err := host.New(topo, s.HostParams())
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+
+	// Admission: the L0 scheduler places each VM's gang; SW-SVt
+	// placement class falls out of the topology occupancy.
+	nthreads := gangSize(mode)
+	assigns := make([]host.Assignment, k)
+	for i := 0; i < k; i++ {
+		assigns[i] = h.Sched.Admit(i, nthreads)
+	}
+
+	// Phase 1: uncontended per-VM runs, fanned out on the pool.
+	runs := parallel.MapN(s.Workers(), k, func(i int) vmRun {
+		return cache.get(s, mode, vmKey{vm: i, place: assigns[i].Place})
+	})
+
+	// Phase 2: contention replay on the shared host engine.
+	demands := make([]host.Demand, k)
+	for i, r := range runs {
+		demands[i] = host.Demand{
+			VM:         i,
+			Ctxs:       assigns[i].Ctxs,
+			Busy:       r.busy,
+			Total:      r.total,
+			HelperPoll: r.poll,
+			HelperFrac: r.frac,
+			Pinned:     nthreads == 2,
+		}
+	}
+	res := h.Sched.Replay(demands)
+
+	pt := DensityPoint{Mode: mode, K: k}
+	for i, r := range runs {
+		S := res.VMs[i].Slowdown
+		v := DensityVM{
+			VM:       i,
+			Workload: r.workload,
+			Ctxs:     assigns[i].Ctxs,
+			Place:    assigns[i].Place,
+			P50Us:    stats.Percentile(r.latUs, 50) * S,
+			P99Us:    stats.Percentile(r.latUs, 99) * S,
+			Slowdown: S,
+		}
+		if r.total > 0 {
+			v.Throughput = r.ops / (float64(r.total) * S / float64(sim.Second))
+		}
+		pt.VMs = append(pt.VMs, v)
+		if v.P50Us > pt.WorstP50Us {
+			pt.WorstP50Us = v.P50Us
+		}
+		if v.P99Us > pt.WorstP99Us {
+			pt.WorstP99Us = v.P99Us
+		}
+		pt.AggThroughput += v.Throughput
+	}
+	pt.CoreUtilMean = stats.Mean(res.CoreUtil)
+	pt.StolenCycles = res.StolenTotal
+	pt.Migrations = res.Migrations
+	pt.ReschedIPIs = res.ReschedIPIs
+	_, smt, cc, numa := h.IPIsSent()
+	pt.IPIsSMT, pt.IPIsCore, pt.IPIsNUMA = smt, cc, numa
+	return pt
+}
+
+// DensitySweep packs k = 1..kmax nested VMs per mode and reports every
+// packing level plus the max density meeting the p99 SLO (in
+// microseconds, judged against the worst per-VM p99). kmax <= 0 uses
+// the topology's context count.
+func (s *Session) DensitySweep(modes []hv.Mode, kmax int, sloUs float64) []DensityResult {
+	topo := s.Topology()
+	if kmax <= 0 {
+		kmax = topo.Contexts()
+	}
+	out := make([]DensityResult, len(modes))
+	for mi, mode := range modes {
+		res := DensityResult{Mode: mode, Topo: topo, SLOUs: sloUs}
+		cache := &vmCache{m: make(map[vmKey]vmRun)}
+		for k := 1; k <= kmax; k++ {
+			pt := s.consolidate(mode, k, cache)
+			res.Points = append(res.Points, pt)
+			if pt.WorstP99Us <= sloUs {
+				res.MaxDensity = k
+			}
+		}
+		out[mi] = res
+	}
+	return out
+}

@@ -18,8 +18,18 @@ import (
 	"svtsim/internal/workload"
 )
 
+// AllModes returns the modes under test in the paper's presentation
+// order. The result is a fresh slice each call, so callers may reorder
+// or trim it freely.
+func AllModes() []hv.Mode {
+	return []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt}
+}
+
 // Modes under test, in the paper's presentation order.
-var Modes = []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt}
+//
+// Deprecated: use AllModes, which cannot be mutated out from under
+// concurrent sweeps.
+var Modes = AllModes()
 
 // cpuidLoop is the §6.1 micro-benchmark program (used at every
 // virtualization level).
@@ -44,28 +54,28 @@ type CPUIDResult struct {
 }
 
 // CPUIDNative measures the Figure 6 "L0" bar.
-func CPUIDNative(n int) CPUIDResult {
-	costs := config(hv.ModeBaseline).Costs
+func (s *Session) CPUIDNative(n int) CPUIDResult {
+	costs := s.config(hv.ModeBaseline).Costs
 	total := machine.RunNative(&costs, &cpuidLoop{n: n})
 	return CPUIDResult{Label: "L0", PerOp: total / sim.Time(n)}
 }
 
 // CPUIDSingleLevel measures the Figure 6 "L1" bar.
-func CPUIDSingleLevel(n int) CPUIDResult {
-	m := machine.NewSingleLevel(config(hv.ModeBaseline))
+func (s *Session) CPUIDSingleLevel(n int) CPUIDResult {
+	m := machine.NewSingleLevel(s.config(hv.ModeBaseline))
 	m.SetGuestWorkload(&cpuidLoop{n: n})
-	runSingle(m)
+	s.runSingle(m)
 	return CPUIDResult{Label: "L1", PerOp: m.Now() / sim.Time(n)}
 }
 
 // CPUIDNested measures a nested cpuid run (Figure 6 "L2", "SW SVt" and
 // "HW SVt" bars, and the Table 1 breakdown for the baseline).
-func CPUIDNested(mode hv.Mode, n int) CPUIDResult {
-	m := machine.NewNested(config(mode))
+func (s *Session) CPUIDNested(mode hv.Mode, n int) CPUIDResult {
+	m := machine.NewNested(s.config(mode))
 	led := &sim.Ledger{}
 	m.Eng.SetLedger(led)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	label := "L2"
 	switch mode {
@@ -79,36 +89,36 @@ func CPUIDNested(mode hv.Mode, n int) CPUIDResult {
 
 // CPUIDNestedNoShadowing runs the baseline nested cpuid with hardware
 // VMCS shadowing disabled (the §2.1 ablation).
-func CPUIDNestedNoShadowing(n int) CPUIDResult {
-	cfg := config(hv.ModeBaseline)
+func (s *Session) CPUIDNestedNoShadowing(n int) CPUIDResult {
+	cfg := s.config(hv.ModeBaseline)
 	cfg.DisableVMCSShadowing = true
 	m := machine.NewNested(cfg)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	return CPUIDResult{Label: "L2 (no shadowing)", PerOp: m.Now() / sim.Time(n)}
 }
 
 // CPUIDNestedWithThunkRegs runs nested cpuid with a chosen number of
 // software-thunk registers (the "dozens of registers" sensitivity).
-func CPUIDNestedWithThunkRegs(mode hv.Mode, regs, n int) CPUIDResult {
-	cfg := config(mode)
+func (s *Session) CPUIDNestedWithThunkRegs(mode hv.Mode, regs, n int) CPUIDResult {
+	cfg := s.config(mode)
 	cfg.Costs.ThunkRegs = regs
 	m := machine.NewNested(cfg)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	return CPUIDResult{Label: "thunk-sweep", PerOp: m.Now() / sim.Time(n)}
 }
 
 // TraceNestedCPUID runs a nested cpuid workload with an exit trace
 // attached to L0 and returns the retained entries (newest-window).
-func TraceNestedCPUID(mode hv.Mode, n, ring int) []hv.TraceEntry {
-	m := machine.NewNested(config(mode))
+func (s *Session) TraceNestedCPUID(mode hv.Mode, n, ring int) []hv.TraceEntry {
+	m := machine.NewNested(s.config(mode))
 	tr := hv.NewTrace(ring)
 	m.L0.SetTrace(tr)
 	m.SetL2Workload(&cpuidLoop{n: n})
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	return tr.Entries()
 }
@@ -125,8 +135,8 @@ type IOResult struct {
 
 // netMachine builds a nested machine with the network stack and a peer
 // factory hook.
-func netMachine(mode hv.Mode) (*machine.Machine, *machine.IOStack) {
-	cfg := config(mode)
+func (s *Session) netMachine(mode hv.Mode) (*machine.Machine, *machine.IOStack) {
+	cfg := s.config(mode)
 	io := machine.WireNestedIO(&cfg, machine.DefaultIOParams())
 	m := machine.NewNested(cfg)
 	return m, io
@@ -134,8 +144,8 @@ func netMachine(mode hv.Mode) (*machine.Machine, *machine.IOStack) {
 
 // NetLatency runs netperf TCP_RR (Figure 7 "Network latency"): n 1-byte
 // transactions against an echoing peer.
-func NetLatency(mode hv.Mode, n int) IOResult {
-	r, _, _ := NetLatencyEvents(mode, n)
+func (s *Session) NetLatency(mode hv.Mode, n int) IOResult {
+	r, _, _ := s.NetLatencyEvents(mode, n)
 	return r
 }
 
@@ -143,25 +153,25 @@ func NetLatency(mode hv.Mode, n int) IOResult {
 // the engine events dispatched and the virtual time covered. The perf
 // baseline (svtbench -bench) divides events by wall clock to track
 // simulated events/sec across commits.
-func NetLatencyEvents(mode hv.Mode, n int) (IOResult, uint64, sim.Time) {
-	m, io := netMachine(mode)
+func (s *Session) NetLatencyEvents(mode hv.Mode, n int) (IOResult, uint64, sim.Time) {
+	m, io := s.netMachine(mode)
 	io.NIC.Peer = &netsim.EchoPeer{
 		Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
 		ServiceTime: 5 * sim.Microsecond, RespSize: 1,
 	}
 	w := &workload.NetRR{N: n, ReqSize: 1, TCPModel: true, SMP: true}
 	m.InstallL2(io, true, false, func(env *guest.Env) { w.Run(env) })
-	run(m)
+	s.run(m)
 	m.Shutdown()
-	s, _ := stats.Summarize(w.Lat)
-	r := IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
+	sum, _ := stats.Summarize(w.Lat)
+	r := IOResult{Mode: mode, MeanUs: sum.Mean, P99Us: sum.P99, ExitStats: &m.L0.NestedProf}
 	return r, m.Eng.Dispatched(), m.Now()
 }
 
 // NetBandwidth runs netperf TCP_STREAM (Figure 7 "Network bandwidth"):
 // 16 KB messages for the given duration; throughput measured at the peer.
-func NetBandwidth(mode hv.Mode, d sim.Time) IOResult {
-	m, io := netMachine(mode)
+func (s *Session) NetBandwidth(mode hv.Mode, d sim.Time) IOResult {
+	m, io := s.netMachine(mode)
 	peer := &netsim.AckPeer{
 		Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
 		AckEvery: workload.StreamAckEvery, AckSize: 64,
@@ -171,7 +181,7 @@ func NetBandwidth(mode hv.Mode, d sim.Time) IOResult {
 	io.SetL1NetTxCoalesce(16)
 	w := &workload.NetStream{Duration: d, MsgSize: 16 * 1024, Window: 2 << 20, SMP: false}
 	m.InstallL2(io, true, false, func(env *guest.Env) { w.Run(env) })
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	mbps := float64(peer.Received) * 8 / d.Seconds() / 1e6
 	return IOResult{Mode: mode, Mbps: mbps, ExitStats: &m.L0.NestedProf}
@@ -179,29 +189,29 @@ func NetBandwidth(mode hv.Mode, d sim.Time) IOResult {
 
 // DiskLatency runs ioping (Figure 7 "Disk randrd/randwr latency"):
 // n synchronous 512-byte random accesses.
-func DiskLatency(mode hv.Mode, write bool, n int) IOResult {
-	m, io := netMachine(mode)
+func (s *Session) DiskLatency(mode hv.Mode, write bool, n int) IOResult {
+	m, io := s.netMachine(mode)
 	w := &workload.DiskBench{
 		N: n, Size: 512, Write: write, Sectors: 1 << 20,
 		Rng: sim.NewRand(42), SMP: true,
 	}
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	run(m)
+	s.run(m)
 	m.Shutdown()
-	s, _ := stats.Summarize(w.Lat)
-	return IOResult{Mode: mode, MeanUs: s.Mean, P99Us: s.P99, ExitStats: &m.L0.NestedProf}
+	sum, _ := stats.Summarize(w.Lat)
+	return IOResult{Mode: mode, MeanUs: sum.Mean, P99Us: sum.P99, ExitStats: &m.L0.NestedProf}
 }
 
 // DiskBandwidth runs fio (Figure 7 "Disk randrd/randwr bandwidth"):
 // n synchronous 4 KB random accesses, reporting KB/s.
-func DiskBandwidth(mode hv.Mode, write bool, n int) IOResult {
-	m, io := netMachine(mode)
+func (s *Session) DiskBandwidth(mode hv.Mode, write bool, n int) IOResult {
+	m, io := s.netMachine(mode)
 	w := &workload.DiskBench{
 		N: n, Size: 4096, Write: write, Sectors: 1 << 20,
 		Rng: sim.NewRand(43), SMP: true,
 	}
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	return IOResult{Mode: mode, KBs: w.ThroughputKBs(), ExitStats: &m.L0.NestedProf}
 }
@@ -217,8 +227,8 @@ type MemcachedResult struct {
 
 // Memcached runs the §6.3.1 experiment: an open-loop ETC load at rate
 // QPS against the in-guest memcached server for duration d.
-func Memcached(mode hv.Mode, rate float64, d sim.Time) MemcachedResult {
-	m, io := netMachine(mode)
+func (s *Session) Memcached(mode hv.Mode, rate float64, d sim.Time) MemcachedResult {
+	m, io := s.netMachine(mode)
 	srv := workload.DefaultMemcached(d + 100*sim.Millisecond)
 	m.InstallL2(io, true, false, func(env *guest.Env) { srv.Run(env) })
 
@@ -233,7 +243,7 @@ func Memcached(mode hv.Mode, rate float64, d sim.Time) MemcachedResult {
 	}
 	io.NIC.Peer = client
 	client.Start(rate, m.Eng.Now()+d, rng.Float64)
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	res := MemcachedResult{Mode: mode, TargetQPS: rate, Served: srv.Served}
 	if len(client.Lat) > 0 {
@@ -244,11 +254,11 @@ func Memcached(mode hv.Mode, rate float64, d sim.Time) MemcachedResult {
 }
 
 // TPCC runs the §6.3.2 experiment for duration d, returning ktpm.
-func TPCC(mode hv.Mode, d sim.Time) float64 {
-	m, io := netMachine(mode)
+func (s *Session) TPCC(mode hv.Mode, d sim.Time) float64 {
+	m, io := s.netMachine(mode)
 	w := &workload.TPCC{Duration: d, Rng: sim.NewRand(17), SMP: true}
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	return w.KTpm()
 }
@@ -263,15 +273,15 @@ type VideoResult struct {
 
 // Video runs the §6.3.3 experiment at the given frame rate over the full
 // five minutes of playback.
-func Video(mode hv.Mode, fps int) VideoResult { return VideoN(mode, fps, fps*300) }
+func (s *Session) Video(mode hv.Mode, fps int) VideoResult { return s.VideoN(mode, fps, fps*300) }
 
 // VideoN runs the video experiment over a chosen number of frames.
-func VideoN(mode hv.Mode, fps, frames int) VideoResult {
-	m, io := netMachine(mode)
+func (s *Session) VideoN(mode hv.Mode, fps, frames int) VideoResult {
+	m, io := s.netMachine(mode)
 	w := workload.NewVideo(fps, sim.NewRand(23))
 	w.Frames = frames
 	m.InstallL2(io, false, true, func(env *guest.Env) { w.Run(env) })
-	run(m)
+	s.run(m)
 	m.Shutdown()
 	return VideoResult{Mode: mode, FPS: fps, Dropped: w.Dropped, Played: w.Played}
 }

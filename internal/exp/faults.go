@@ -11,54 +11,6 @@ import (
 	"svtsim/internal/sim"
 )
 
-// faultSpec is the package-level fault configuration; every machine the
-// experiments assemble inherits it. Nil (the default) keeps runs healthy
-// and bit-identical to a build without the fault plane.
-var faultSpec *fault.Spec
-
-// SetFaults installs (or, with nil, clears) the fault spec applied to all
-// subsequent experiment runs. The CLI's -faults/-fault-rate flags land
-// here.
-func SetFaults(spec *fault.Spec) { faultSpec = spec }
-
-// config is the experiment-wide machine configuration: the calibrated
-// defaults plus whatever fault plane is armed.
-func config(mode hv.Mode) machine.Config {
-	cfg := machine.DefaultConfig(mode)
-	cfg.Faults = faultSpec
-	armObs(&cfg)
-	return cfg
-}
-
-// run executes a nested machine, stamping any panic with the seeds needed
-// to replay the failing run from its log line alone.
-func run(m *machine.Machine) *hv.Profile {
-	defer annotatePanic(m)
-	captureObs(m)
-	return m.Run()
-}
-
-// runSingle is run for single-level machines.
-func runSingle(m *machine.Machine) *hv.Profile {
-	defer annotatePanic(m)
-	captureObs(m)
-	return m.RunSingle()
-}
-
-func annotatePanic(m *machine.Machine) {
-	r := recover()
-	if r == nil {
-		return
-	}
-	faults, fseed := "none", int64(0)
-	if m.Faults != nil {
-		faults = m.Cfg.Faults.String()
-		fseed = m.Faults.Seed()
-	}
-	panic(fmt.Sprintf("exp: run failed (seed=%d faults=%q fault-seed=%d): %v",
-		m.Cfg.Seed, faults, fseed, r))
-}
-
 // FaultSweepResult is one fault-injection run: the workload outcome plus
 // every recovery counter the fault plane exercised.
 type FaultSweepResult struct {
@@ -97,16 +49,17 @@ func (r FaultSweepResult) StatsLine() string {
 // FaultSweep runs the nested cpuid micro-benchmark with the given fault
 // spec armed and reports the recovery counters. mutate, when non-nil,
 // runs after machine assembly so callers can tighten the watchdog or
-// breaker before the run.
-func FaultSweep(mode hv.Mode, spec *fault.Spec, n int, mutate func(*machine.Machine)) FaultSweepResult {
-	cfg := machine.DefaultConfig(mode)
+// breaker before the run. The explicit spec overrides the session's
+// armed spec for this run; the session's obs arming still applies.
+func (s *Session) FaultSweep(mode hv.Mode, spec *fault.Spec, n int, mutate func(*machine.Machine)) FaultSweepResult {
+	cfg := s.config(mode)
 	cfg.Faults = spec
 	m := machine.NewNested(cfg)
 	if mutate != nil {
 		mutate(m)
 	}
 	m.SetL2Workload(&cpuidLoop{n: n})
-	run(m)
+	s.run(m)
 	m.Shutdown()
 
 	r := FaultSweepResult{
@@ -147,13 +100,14 @@ type FaultCell struct {
 	N    int
 }
 
-// FaultSweepGrid runs every cell on the parallel worker pool and returns
-// results in cell order. Each cell assembles its own machine with its own
-// seeded fault plane, so the grid is byte-identical to running the cells
-// serially (pinned by TestFaultSweepGridParallelDeterminism).
-func FaultSweepGrid(cells []FaultCell) []FaultSweepResult {
-	return parallel.Map(len(cells), func(i int) FaultSweepResult {
+// FaultSweepGrid runs every cell on the session's worker pool and
+// returns results in cell order. Each cell assembles its own machine
+// with its own seeded fault plane, so the grid is byte-identical to
+// running the cells serially (pinned by
+// TestFaultSweepGridParallelDeterminism).
+func (s *Session) FaultSweepGrid(cells []FaultCell) []FaultSweepResult {
+	return parallel.MapN(s.Workers(), len(cells), func(i int) FaultSweepResult {
 		c := cells[i]
-		return FaultSweep(c.Mode, c.Spec, c.N, nil)
+		return s.FaultSweep(c.Mode, c.Spec, c.N, nil)
 	})
 }

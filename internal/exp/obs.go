@@ -1,56 +1,28 @@
 package exp
 
 import (
-	"sync"
-
-	"svtsim/internal/machine"
+	"svtsim/internal/fault"
 	"svtsim/internal/obs"
 )
 
-// Observability arming mirrors the fault plane: a package-level option
-// set that every subsequently assembled machine inherits. The mutex
-// matters because experiment sweeps run cells on the parallel worker
-// pool; each cell reads the armed options at config() time and the last
-// finished run publishes its plane for the CLI to export.
-var (
-	obsMu   sync.Mutex
-	obsOpts *obs.Options
-	obsLast *obs.Plane
-)
+// Deprecated package-level configuration: these mutate the Default
+// session, which every package-level experiment wrapper runs on. New
+// code should hold a *Session and use its methods — per-session state
+// is what makes concurrent campaigns (and the parallel pool) race-free.
 
-// SetObs arms (or, with nil, disarms) the observability plane for all
-// subsequent experiment runs. Arming never changes simulation results —
-// the plane only records, it never charges virtual time.
-func SetObs(o *obs.Options) {
-	obsMu.Lock()
-	defer obsMu.Unlock()
-	obsOpts = o
-	obsLast = nil
-}
+// SetObs arms (or, with nil, disarms) the observability plane on the
+// Default session.
+//
+// Deprecated: use NewSession and (*Session).SetObs.
+func SetObs(o *obs.Options) { Default.SetObs(o) }
 
-// LastObs returns the plane captured by the most recent experiment run,
-// or nil when disarmed (or before any run). With parallel sweeps the
-// "most recent" run is whichever cell started last; arm tracing around a
-// single experiment call when the trace must belong to a known run.
-func LastObs() *obs.Plane {
-	obsMu.Lock()
-	defer obsMu.Unlock()
-	return obsLast
-}
+// LastObs returns the Default session's most recent captured plane.
+//
+// Deprecated: use (*Session).LastObs.
+func LastObs() *obs.Plane { return Default.LastObs() }
 
-// armObs applies the armed options to a machine config.
-func armObs(cfg *machine.Config) {
-	obsMu.Lock()
-	cfg.Obs = obsOpts
-	obsMu.Unlock()
-}
-
-// captureObs publishes a machine's plane as the latest run's.
-func captureObs(m *machine.Machine) {
-	if m.Obs == nil {
-		return
-	}
-	obsMu.Lock()
-	obsLast = m.Obs
-	obsMu.Unlock()
-}
+// SetFaults installs (or, with nil, clears) the fault spec on the
+// Default session.
+//
+// Deprecated: use (*Session).SetFaults.
+func SetFaults(spec *fault.Spec) { Default.SetFaults(spec) }

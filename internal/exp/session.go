@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"svtsim/internal/fault"
+	"svtsim/internal/host"
+	"svtsim/internal/hv"
+	"svtsim/internal/machine"
+	"svtsim/internal/obs"
+	"svtsim/internal/parallel"
+)
+
+// Session carries one experiment campaign's configuration — fault spec,
+// observability options, worker-pool width, host topology — as instance
+// state instead of package globals. Every experiment is a method on
+// Session; the package-level functions are deprecated wrappers over
+// Default kept so existing callers compile unchanged.
+//
+// All accessors are safe to call concurrently with experiment runs on
+// the parallel pool: configuration reads and writes share one mutex
+// (the package-global era read faultSpec from worker goroutines with no
+// synchronization at all — the race the Session design retires).
+type Session struct {
+	mu      sync.Mutex
+	faults  *fault.Spec
+	obsOpts *obs.Options
+	obsLast *obs.Plane
+	workers int
+	topo    host.Topology
+	hostP   host.Params
+}
+
+// Default is the session behind the deprecated package-level functions.
+var Default = NewSession()
+
+// NewSession returns a session with the calibrated defaults: no faults,
+// no observability, the global worker pool, the paper's 2x8x2 testbed
+// topology.
+func NewSession() *Session {
+	return &Session{topo: host.DefaultTopology, hostP: host.DefaultParams()}
+}
+
+// SetFaults installs (or, with nil, clears) the fault spec applied to
+// machines assembled by this session's subsequent experiment runs.
+func (s *Session) SetFaults(spec *fault.Spec) {
+	s.mu.Lock()
+	s.faults = spec
+	s.mu.Unlock()
+}
+
+// SetObs arms (or, with nil, disarms) the observability plane for this
+// session's subsequent experiment runs. Arming never changes simulation
+// results — the plane only records, it never charges virtual time.
+func (s *Session) SetObs(o *obs.Options) {
+	s.mu.Lock()
+	s.obsOpts = o
+	s.obsLast = nil
+	s.mu.Unlock()
+}
+
+// LastObs returns the plane captured by the session's most recent
+// experiment run, or nil when disarmed (or before any run). With
+// parallel sweeps the "most recent" run is whichever cell finished
+// last; arm tracing around a single experiment call when the trace must
+// belong to a known run.
+func (s *Session) LastObs() *obs.Plane {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obsLast
+}
+
+// SetParallelism sets this session's worker-pool width for sweeps;
+// n <= 0 inherits the process-wide pool (parallel.SetWorkers).
+func (s *Session) SetParallelism(n int) {
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+}
+
+// Workers reports the effective pool width for this session's sweeps.
+func (s *Session) Workers() int {
+	s.mu.Lock()
+	n := s.workers
+	s.mu.Unlock()
+	if n > 0 {
+		return n
+	}
+	return parallel.Workers()
+}
+
+// SetTopology sets the host topology used by fleet-scale experiments
+// (DensitySweep, Consolidation).
+func (s *Session) SetTopology(t host.Topology) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.topo = t
+	s.mu.Unlock()
+	return nil
+}
+
+// Topology reports the session's host topology.
+func (s *Session) Topology() host.Topology {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.topo
+}
+
+// SetHostParams overrides the host-level cost model (IPI latencies,
+// scheduler quantum, SMT share).
+func (s *Session) SetHostParams(p host.Params) {
+	s.mu.Lock()
+	s.hostP = p
+	s.mu.Unlock()
+}
+
+// HostParams reports the session's host cost model.
+func (s *Session) HostParams() host.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hostP
+}
+
+// config is the session-wide machine configuration: the calibrated
+// defaults plus whatever fault plane and observability are armed.
+func (s *Session) config(mode hv.Mode) machine.Config {
+	cfg := machine.DefaultConfig(mode)
+	s.mu.Lock()
+	cfg.Faults = s.faults
+	cfg.Obs = s.obsOpts
+	s.mu.Unlock()
+	return cfg
+}
+
+// captureObs publishes a machine's plane as the session's latest.
+func (s *Session) captureObs(m *machine.Machine) {
+	if m.Obs == nil {
+		return
+	}
+	s.mu.Lock()
+	s.obsLast = m.Obs
+	s.mu.Unlock()
+}
+
+// run executes a nested machine, stamping any panic with the seeds
+// needed to replay the failing run from its log line alone.
+func (s *Session) run(m *machine.Machine) *hv.Profile {
+	defer annotatePanic(m)
+	p := m.Run()
+	s.captureObs(m)
+	return p
+}
+
+// runSingle is run for single-level machines.
+func (s *Session) runSingle(m *machine.Machine) *hv.Profile {
+	defer annotatePanic(m)
+	p := m.RunSingle()
+	s.captureObs(m)
+	return p
+}
+
+func annotatePanic(m *machine.Machine) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	faults, fseed := "none", int64(0)
+	if m.Faults != nil {
+		faults = m.Cfg.Faults.String()
+		fseed = m.Faults.Seed()
+	}
+	panic(fmt.Sprintf("exp: run failed (seed=%d faults=%q fault-seed=%d): %v",
+		m.Cfg.Seed, faults, fseed, r))
+}

@@ -1,0 +1,123 @@
+package exp
+
+// Deprecated package-level experiment entry points. Each one delegates
+// to the Default session; existing examples, tests and tools keep
+// compiling, while new code constructs its own Session. (See obs.go for
+// the deprecated configuration setters.)
+
+import (
+	"svtsim/internal/fault"
+	"svtsim/internal/hv"
+	"svtsim/internal/machine"
+	"svtsim/internal/sim"
+)
+
+// CPUIDNative measures the Figure 6 "L0" bar on the Default session.
+//
+// Deprecated: use (*Session).CPUIDNative.
+func CPUIDNative(n int) CPUIDResult { return Default.CPUIDNative(n) }
+
+// CPUIDSingleLevel measures the Figure 6 "L1" bar on the Default session.
+//
+// Deprecated: use (*Session).CPUIDSingleLevel.
+func CPUIDSingleLevel(n int) CPUIDResult { return Default.CPUIDSingleLevel(n) }
+
+// CPUIDNested measures a nested cpuid run on the Default session.
+//
+// Deprecated: use (*Session).CPUIDNested.
+func CPUIDNested(mode hv.Mode, n int) CPUIDResult { return Default.CPUIDNested(mode, n) }
+
+// CPUIDNestedNoShadowing runs the §2.1 shadowing ablation on the
+// Default session.
+//
+// Deprecated: use (*Session).CPUIDNestedNoShadowing.
+func CPUIDNestedNoShadowing(n int) CPUIDResult { return Default.CPUIDNestedNoShadowing(n) }
+
+// CPUIDNestedWithThunkRegs runs the thunk-register sensitivity on the
+// Default session.
+//
+// Deprecated: use (*Session).CPUIDNestedWithThunkRegs.
+func CPUIDNestedWithThunkRegs(mode hv.Mode, regs, n int) CPUIDResult {
+	return Default.CPUIDNestedWithThunkRegs(mode, regs, n)
+}
+
+// TraceNestedCPUID runs a traced nested cpuid on the Default session.
+//
+// Deprecated: use (*Session).TraceNestedCPUID.
+func TraceNestedCPUID(mode hv.Mode, n, ring int) []hv.TraceEntry {
+	return Default.TraceNestedCPUID(mode, n, ring)
+}
+
+// NetLatency runs netperf TCP_RR on the Default session.
+//
+// Deprecated: use (*Session).NetLatency.
+func NetLatency(mode hv.Mode, n int) IOResult { return Default.NetLatency(mode, n) }
+
+// NetLatencyEvents is NetLatency plus engine throughput counters.
+//
+// Deprecated: use (*Session).NetLatencyEvents.
+func NetLatencyEvents(mode hv.Mode, n int) (IOResult, uint64, sim.Time) {
+	return Default.NetLatencyEvents(mode, n)
+}
+
+// NetBandwidth runs netperf TCP_STREAM on the Default session.
+//
+// Deprecated: use (*Session).NetBandwidth.
+func NetBandwidth(mode hv.Mode, d sim.Time) IOResult { return Default.NetBandwidth(mode, d) }
+
+// DiskLatency runs ioping on the Default session.
+//
+// Deprecated: use (*Session).DiskLatency.
+func DiskLatency(mode hv.Mode, write bool, n int) IOResult {
+	return Default.DiskLatency(mode, write, n)
+}
+
+// DiskBandwidth runs fio on the Default session.
+//
+// Deprecated: use (*Session).DiskBandwidth.
+func DiskBandwidth(mode hv.Mode, write bool, n int) IOResult {
+	return Default.DiskBandwidth(mode, write, n)
+}
+
+// Memcached runs the §6.3.1 experiment on the Default session.
+//
+// Deprecated: use (*Session).Memcached.
+func Memcached(mode hv.Mode, rate float64, d sim.Time) MemcachedResult {
+	return Default.Memcached(mode, rate, d)
+}
+
+// TPCC runs the §6.3.2 experiment on the Default session.
+//
+// Deprecated: use (*Session).TPCC.
+func TPCC(mode hv.Mode, d sim.Time) float64 { return Default.TPCC(mode, d) }
+
+// Video runs the §6.3.3 experiment on the Default session.
+//
+// Deprecated: use (*Session).Video.
+func Video(mode hv.Mode, fps int) VideoResult { return Default.Video(mode, fps) }
+
+// VideoN runs the video experiment over a chosen number of frames on
+// the Default session.
+//
+// Deprecated: use (*Session).VideoN.
+func VideoN(mode hv.Mode, fps, frames int) VideoResult { return Default.VideoN(mode, fps, frames) }
+
+// ChannelStudy sweeps the §6.1 channel configurations on the Default
+// session.
+//
+// Deprecated: use (*Session).ChannelStudy.
+func ChannelStudy(n int, workloads []sim.Time) []ChannelPoint {
+	return Default.ChannelStudy(n, workloads)
+}
+
+// FaultSweep runs a fault-injection sweep on the Default session.
+//
+// Deprecated: use (*Session).FaultSweep.
+func FaultSweep(mode hv.Mode, spec *fault.Spec, n int, mutate func(*machine.Machine)) FaultSweepResult {
+	return Default.FaultSweep(mode, spec, n, mutate)
+}
+
+// FaultSweepGrid runs a grid of fault-sweep cells on the Default session.
+//
+// Deprecated: use (*Session).FaultSweepGrid.
+func FaultSweepGrid(cells []FaultCell) []FaultSweepResult { return Default.FaultSweepGrid(cells) }

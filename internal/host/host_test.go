@@ -1,0 +1,276 @@
+package host
+
+import (
+	"testing"
+
+	"svtsim/internal/apic"
+	"svtsim/internal/obs"
+	"svtsim/internal/sim"
+)
+
+func mustHost(t *testing.T, topo Topology) *Host {
+	t.Helper()
+	h, err := New(topo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestIPILatencyByDistance: delivery latency rises with topological
+// distance, and each send lands on the target LAPIC after exactly the
+// distance-class latency.
+func TestIPILatencyByDistance(t *testing.T) {
+	h := mustHost(t, Topology{2, 2, 2})
+	cases := []struct {
+		to   CtxID
+		want sim.Time
+	}{
+		{0, h.P.IPISelf},      // self
+		{1, h.P.IPISMT},       // sibling
+		{2, h.P.IPICrossCore}, // other core, same socket
+		{4, h.P.IPICrossNUMA}, // other socket
+	}
+	for _, c := range cases {
+		start := h.Eng.Now()
+		var arrived sim.Time
+		h.OnIPI(c.to, func(vec int) {
+			arrived = h.Eng.Now()
+			h.LAPIC(c.to).Ack(vec)
+		})
+		h.SendIPI(0, c.to, apic.VecIPI)
+		h.Eng.Drain(100)
+		if got := arrived - start; got != c.want {
+			t.Errorf("IPI 0->%d latency = %d, want %d", c.to, got, c.want)
+		}
+	}
+	self, smt, cc, cn := h.IPIsSent()
+	if self != 1 || smt != 1 || cc != 1 || cn != 1 {
+		t.Errorf("IPIsSent = %d/%d/%d/%d, want 1 each", self, smt, cc, cn)
+	}
+	for ctx, n := range h.IPIsReceived()[:5] {
+		want := uint64(0)
+		if ctx <= 4 && ctx != 3 {
+			want = 1
+		}
+		if n != want {
+			t.Errorf("ctx %d received %d IPIs, want %d", ctx, n, want)
+		}
+	}
+}
+
+// TestIPIOriginAttribution: the delivery event of a cross-core IPI is
+// attributed to the target's core via the engine origin tag.
+func TestIPIOriginAttribution(t *testing.T) {
+	h := mustHost(t, Topology{1, 4, 2})
+	h.SendIPI(0, 6, apic.VecIPI) // ctx 6 = core 3
+	h.SendIPI(0, 2, apic.VecIPI) // ctx 2 = core 1
+	h.SendIPI(0, 3, apic.VecIPI) // ctx 3 = core 1
+	h.Eng.Drain(100)
+	ev := h.EventsByCore()
+	if ev[3] != 1 || ev[1] != 2 || ev[0] != 0 || ev[2] != 0 {
+		t.Errorf("EventsByCore = %v, want [0 2 0 1]", ev)
+	}
+}
+
+// TestOriginInheritance: events scheduled from inside an attributed
+// callback inherit the ancestor's origin.
+func TestOriginInheritance(t *testing.T) {
+	eng := sim.New()
+	if got := eng.Origin(); got != sim.NoOrigin {
+		t.Fatalf("fresh engine origin = %d, want NoOrigin", got)
+	}
+	var seen []int
+	eng.SetOrigin(3)
+	eng.After(10, func() {
+		seen = append(seen, eng.Origin())
+		eng.After(5, func() { seen = append(seen, eng.Origin()) })
+	})
+	eng.SetOrigin(sim.NoOrigin)
+	eng.After(12, func() { seen = append(seen, eng.Origin()) })
+	eng.Drain(10)
+	if len(seen) != 3 || seen[0] != 3 || seen[2] != 3 || seen[1] != sim.NoOrigin {
+		t.Errorf("origins = %v, want [3 NoOrigin 3]", seen)
+	}
+}
+
+// TestReplaySMTInterference: two all-busy VMs on sibling contexts run at
+// SMTShare throughput; the same two VMs on separate cores don't.
+func TestReplaySMTInterference(t *testing.T) {
+	const total = sim.Time(1_000_000)
+	run := func(ctxA, ctxB CtxID) []VMOutcome {
+		h := mustHost(t, Topology{1, 2, 2})
+		h.P.RebalanceEvery = 0 // isolate the contention model
+		demands := []Demand{
+			{VM: 0, Ctxs: []CtxID{ctxA}, Busy: total, Total: total, Pinned: true},
+			{VM: 1, Ctxs: []CtxID{ctxB}, Busy: total, Total: total, Pinned: true},
+		}
+		return h.Sched.Replay(demands).VMs
+	}
+	separate := run(0, 2)
+	for _, vm := range separate {
+		if vm.Slowdown > 1.06 {
+			t.Errorf("separate cores: vm%d slowdown %.3f, want ~1.0", vm.VM, vm.Slowdown)
+		}
+	}
+	siblings := run(0, 1)
+	wantSlow := 1 / DefaultParams().SMTShare // ~1.43
+	for _, vm := range siblings {
+		if vm.Slowdown < wantSlow*0.95 || vm.Slowdown > wantSlow*1.1 {
+			t.Errorf("smt siblings: vm%d slowdown %.3f, want ~%.2f", vm.VM, vm.Slowdown, wantSlow)
+		}
+	}
+}
+
+// TestReplayPollingStealsSiblingCycles: a polling SVt-thread on the
+// sibling context slows its vCPU neighbour and the stolen cycles are
+// accounted to the core; an mwait helper (tiny duty cycle) steals none.
+func TestReplayPollingStealsSiblingCycles(t *testing.T) {
+	const total = sim.Time(2_000_000)
+	run := func(poll bool) ReplayResult {
+		h := mustHost(t, Topology{1, 1, 2})
+		h.P.RebalanceEvery = 0
+		return h.Sched.Replay([]Demand{{
+			VM:         0,
+			Ctxs:       []CtxID{0, 1},
+			Busy:       total,
+			Total:      total,
+			HelperPoll: poll,
+			HelperFrac: 0.05,
+			Pinned:     true,
+		}})
+	}
+	polling := run(true)
+	mwait := run(false)
+	if polling.StolenTotal == 0 {
+		t.Fatal("polling helper stole no sibling cycles")
+	}
+	if mwait.StolenTotal != 0 {
+		t.Fatalf("mwait helper stole %d sibling cycles, want 0", mwait.StolenTotal)
+	}
+	if polling.VMs[0].Slowdown <= mwait.VMs[0].Slowdown {
+		t.Errorf("polling slowdown %.3f <= mwait slowdown %.3f",
+			polling.VMs[0].Slowdown, mwait.VMs[0].Slowdown)
+	}
+	if polling.StolenByCore[0] != polling.StolenTotal {
+		t.Errorf("StolenByCore[0] = %d, StolenTotal = %d",
+			polling.StolenByCore[0], polling.StolenTotal)
+	}
+}
+
+// TestReplayOversubscriptionAndUtilization: four all-busy VMs on one
+// 2-context core finish ~4x/SMTShare late, and core utilization is full.
+func TestReplayOversubscription(t *testing.T) {
+	const total = sim.Time(1_000_000)
+	h := mustHost(t, Topology{1, 1, 2})
+	h.P.RebalanceEvery = 0
+	var demands []Demand
+	for i := 0; i < 4; i++ {
+		demands = append(demands, Demand{
+			VM: i, Ctxs: []CtxID{CtxID(i % 2)}, Busy: total, Total: total,
+		})
+	}
+	res := h.Sched.Replay(demands)
+	// Two per context at SMTShare speed: slowdown ~ 2/0.7 ~ 2.86.
+	want := 2 / DefaultParams().SMTShare
+	for _, vm := range res.VMs {
+		if vm.Slowdown < want*0.9 || vm.Slowdown > want*1.1 {
+			t.Errorf("vm%d slowdown %.3f, want ~%.2f", vm.VM, vm.Slowdown, want)
+		}
+	}
+	if res.CoreUtil[0] < 0.95 {
+		t.Errorf("CoreUtil[0] = %.3f, want ~1.0", res.CoreUtil[0])
+	}
+}
+
+// TestReplayMigration: an imbalanced load (3 movable threads on one
+// context, none elsewhere) triggers the balancer, which moves a thread
+// and kicks the cores with resched IPIs.
+func TestReplayMigration(t *testing.T) {
+	const total = sim.Time(50_000_000)
+	h := mustHost(t, Topology{1, 2, 1})
+	var demands []Demand
+	for i := 0; i < 3; i++ {
+		h.Sched.load[0]++
+		demands = append(demands, Demand{
+			VM: i, Ctxs: []CtxID{0}, Busy: total, Total: total,
+		})
+	}
+	res := h.Sched.Replay(demands)
+	if res.Migrations == 0 {
+		t.Fatal("no migrations on a 3-vs-0 imbalance")
+	}
+	if res.ReschedIPIs == 0 {
+		t.Fatal("migrations sent no resched IPIs")
+	}
+	if res.CtxBusy[1] == 0 {
+		t.Fatal("migrated thread never ran on the idle context")
+	}
+	// The migrated thread finishes well before the two that stayed.
+	finishes := []sim.Time{res.VMs[0].Finish, res.VMs[1].Finish, res.VMs[2].Finish}
+	min, max := finishes[0], finishes[0]
+	for _, f := range finishes {
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	if min == max {
+		t.Error("all VMs finished together despite migration")
+	}
+}
+
+// TestReplayDeterministic: same topology + demands => identical results.
+func TestReplayDeterministic(t *testing.T) {
+	run := func() ReplayResult {
+		h := mustHost(t, Topology{2, 2, 2})
+		var demands []Demand
+		for i := 0; i < 6; i++ {
+			nthreads := 1
+			if i%2 == 1 {
+				nthreads = 2
+			}
+			a := h.Sched.Admit(i, nthreads)
+			demands = append(demands, Demand{
+				VM:         i,
+				Ctxs:       a.Ctxs,
+				Busy:       sim.Time(500_000 + 137_000*i),
+				Total:      sim.Time(900_000 + 211_000*i),
+				HelperPoll: i%4 == 1,
+				HelperFrac: 0.1,
+				Pinned:     nthreads == 2,
+			})
+		}
+		return h.Sched.Replay(demands)
+	}
+	a, b := run(), run()
+	if a.Elapsed != b.Elapsed || a.Quanta != b.Quanta || a.StolenTotal != b.StolenTotal {
+		t.Fatalf("replays diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.VMs {
+		if a.VMs[i] != b.VMs[i] {
+			t.Fatalf("vm %d diverged: %+v vs %+v", i, a.VMs[i], b.VMs[i])
+		}
+	}
+}
+
+// TestHostObsTracks: attaching a plane renames context tracks to their
+// topology coordinates and records IPI instants.
+func TestHostObsTracks(t *testing.T) {
+	h := mustHost(t, Topology{1, 2, 2})
+	p := obs.New(h.Topo.Contexts(), obs.Options{})
+	h.SetObs(p)
+	if got, want := p.Tracer.TrackName(0), "socket0/core0/smt0"; got != want {
+		t.Errorf("track 0 = %q, want %q", got, want)
+	}
+	if got, want := p.Tracer.TrackName(3), "socket0/core1/smt1"; got != want {
+		t.Errorf("track 3 = %q, want %q", got, want)
+	}
+	h.SendIPI(0, 2, apic.VecIPI)
+	h.Eng.Drain(10)
+	if p.Tracer.Total() == 0 {
+		t.Error("no trace events after an IPI send+delivery")
+	}
+}

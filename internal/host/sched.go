@@ -1,0 +1,484 @@
+package host
+
+import (
+	"fmt"
+	"math"
+
+	"svtsim/internal/apic"
+	"svtsim/internal/sim"
+	"svtsim/internal/swsvt"
+)
+
+// Scheduler is the host's L0 scheduler. It makes two kinds of decision:
+//
+//   - Admission: when a VM arrives it is placed onto hardware contexts.
+//     A baseline or HW-SVt VM is one runnable thread (HW-SVt's extra
+//     contexts are per-core front-end state, not extra fetch targets);
+//     a SW-SVt VM is a gang of two — the vCPU and its polling/mwaiting
+//     SVt-thread — whose relative placement (sibling-SMT, cross-core,
+//     cross-NUMA) falls out of which contexts were free.
+//
+//   - Steady state: a quantum-driven run loop on the shared engine
+//     divides each context's cycles among its resident threads, halves
+//     throughput when SMT siblings contend (P.SMTShare), accounts the
+//     sibling cycles polling SVt-threads steal, and periodically
+//     migrates movable threads from the busiest context to the idlest,
+//     kicking the affected cores with reschedule IPIs through the apic
+//     plane.
+type Scheduler struct {
+	h *Host
+
+	// load counts resident threads per context.
+	load []int
+
+	migrations  uint64
+	reschedIPIs uint64
+}
+
+func newScheduler(h *Host) *Scheduler {
+	return &Scheduler{h: h, load: make([]int, h.Topo.Contexts())}
+}
+
+// Assignment records where a VM's threads landed.
+type Assignment struct {
+	VM   int
+	Ctxs []CtxID // vCPU context first, then the SVt-thread context (if any)
+	// Place is the topological relation between the vCPU and its
+	// SVt-thread; meaningful only for two-thread (SW-SVt) gangs.
+	Place swsvt.Placement
+}
+
+func (a Assignment) String() string {
+	if len(a.Ctxs) == 1 {
+		return fmt.Sprintf("vm%d: ctx%d", a.VM, a.Ctxs[0])
+	}
+	return fmt.Sprintf("vm%d: ctx%d + svt ctx%d (%s)", a.VM, a.Ctxs[0], a.Ctxs[1], a.Place)
+}
+
+// pickLeastLoaded returns the context with minimum load, excluding any
+// in skip; ties break toward the lowest index (determinism).
+func (s *Scheduler) pickLeastLoaded(skip CtxID) CtxID {
+	best, bestLoad := CtxID(-1), math.MaxInt
+	for c := range s.load {
+		if CtxID(c) == skip {
+			continue
+		}
+		if s.load[c] < bestLoad {
+			best, bestLoad = CtxID(c), s.load[c]
+		}
+	}
+	return best
+}
+
+// Admit places a VM with nthreads runnable threads (1 or 2) and returns
+// the assignment. Placement policy, in order:
+//
+//  1. A fully idle core: the gang shares its SMT siblings (PlaceSMT) —
+//     the paper's preferred arrangement, wakes stay on-die. A single
+//     thread takes one context of the idlest core.
+//  2. Two idle contexts on distinct cores of one socket (PlaceCrossCore).
+//  3. Two idle contexts on distinct sockets (PlaceCrossNUMA).
+//  4. Saturated host: the least-loaded sibling pair (or least-loaded
+//     two contexts when the topology has no SMT).
+//
+// Every admitted thread lands with a reschedule IPI from the scheduler's
+// home context (ctx 0) through the apic plane.
+func (s *Scheduler) Admit(vm, nthreads int) Assignment {
+	t := s.h.Topo
+	a := Assignment{VM: vm, Place: swsvt.PlaceSMT}
+	switch nthreads {
+	case 1:
+		a.Ctxs = []CtxID{s.pickLeastLoaded(-1)}
+	case 2:
+		main, helper := s.placePair()
+		a.Ctxs = []CtxID{main, helper}
+		a.Place = t.PlacementOf(main, helper)
+	default:
+		panic(fmt.Sprintf("host: Admit(vm=%d, nthreads=%d): want 1 or 2", vm, nthreads))
+	}
+	for _, c := range a.Ctxs {
+		s.load[c]++
+		s.reschedIPIs++
+		s.h.SendIPI(0, c, apic.VecIPI)
+	}
+	return a
+}
+
+// placePair finds contexts for a two-thread gang per the Admit policy.
+func (s *Scheduler) placePair() (main, helper CtxID) {
+	t := s.h.Topo
+	// 1. Fully idle core → SMT siblings.
+	if t.ThreadsPerCore >= 2 {
+		for core := 0; core < t.Cores(); core++ {
+			c0 := CtxID(core * t.ThreadsPerCore)
+			c1 := c0 + 1
+			if s.load[c0] == 0 && s.load[c1] == 0 {
+				return c0, c1
+			}
+		}
+	}
+	// 2/3. Two idle contexts, same socket preferred over cross-socket.
+	var idle []CtxID
+	for c := range s.load {
+		if s.load[c] == 0 {
+			idle = append(idle, CtxID(c))
+		}
+	}
+	if len(idle) >= 2 {
+		for i := 0; i < len(idle); i++ {
+			for j := i + 1; j < len(idle); j++ {
+				if t.SocketOf(idle[i]) == t.SocketOf(idle[j]) {
+					return idle[i], idle[j]
+				}
+			}
+		}
+		return idle[0], idle[1]
+	}
+	// 4. Saturated: least-loaded sibling pair (SMT hosts), else the two
+	// least-loaded contexts.
+	if t.ThreadsPerCore >= 2 {
+		bestCore, bestLoad := 0, math.MaxInt
+		for core := 0; core < t.Cores(); core++ {
+			c0 := CtxID(core * t.ThreadsPerCore)
+			l := s.load[c0] + s.load[c0+1]
+			if l < bestLoad {
+				bestCore, bestLoad = core, l
+			}
+		}
+		c0 := CtxID(bestCore * t.ThreadsPerCore)
+		return c0, c0 + 1
+	}
+	main = s.pickLeastLoaded(-1)
+	helper = s.pickLeastLoaded(main)
+	return main, helper
+}
+
+// Release returns a VM's contexts to the pool.
+func (s *Scheduler) Release(a Assignment) {
+	for _, c := range a.Ctxs {
+		if s.load[c] > 0 {
+			s.load[c]--
+		}
+	}
+}
+
+// Loads returns the per-context resident-thread counts (live slice;
+// callers must not mutate).
+func (s *Scheduler) Loads() []int { return s.load }
+
+// Migrations reports how many threads the load balancer has moved.
+func (s *Scheduler) Migrations() uint64 { return s.migrations }
+
+// ReschedIPIs reports reschedule IPIs sent (admission wakes + migration
+// kicks).
+func (s *Scheduler) ReschedIPIs() uint64 { return s.reschedIPIs }
+
+// Demand is one VM's execution demand presented to the replay: the
+// uncontended virtual runtime of the run (Total), the share of it the
+// vCPU thread spent executing rather than idle (Busy), and the
+// SVt-thread's behaviour — a polling helper occupies its context every
+// cycle regardless of work; an mwait/mutex helper only runs its
+// HelperFrac share.
+type Demand struct {
+	VM         int
+	Ctxs       []CtxID // from the VM's Assignment
+	Busy       sim.Time
+	Total      sim.Time
+	HelperPoll bool
+	HelperFrac float64
+	// Pinned marks gangs the balancer must not split (SW-SVt pairs:
+	// their placement class is baked into the per-VM simulation).
+	Pinned bool
+}
+
+// VMOutcome is one VM's fate under contention.
+type VMOutcome struct {
+	VM       int
+	Finish   sim.Time // host virtual time at which the VM's run completed
+	Slowdown float64  // Finish / Total; 1.0 = no interference
+}
+
+// ReplayResult aggregates a contention replay.
+type ReplayResult struct {
+	Elapsed sim.Time
+	VMs     []VMOutcome
+
+	// CtxBusy is wall time each context spent executing threads.
+	CtxBusy []sim.Time
+	// CoreUtil is each physical core's busy fraction over Elapsed,
+	// averaged across its SMT contexts.
+	CoreUtil []float64
+	// StolenByCore is sibling wall time lost to SMT contention caused
+	// by polling SVt-threads — cycles the vCPU thread on the sibling
+	// context would have used had the helper mwaited instead (§6.4).
+	StolenByCore []sim.Time
+	StolenTotal  sim.Time
+
+	Migrations  uint64
+	ReschedIPIs uint64
+	Quanta      uint64
+}
+
+// thread is the replay's run-queue entry.
+type thread struct {
+	vm     int  // index into demands
+	helper bool // SVt-thread leg of a gang
+	ctx    CtxID
+	pinned bool
+}
+
+// Replay runs the admitted VMs to completion under contention on the
+// shared engine. The model is quantum-driven and fluid: each scheduler
+// tick divides every context's quantum among its runnable threads, and
+// a thread's VM makes progress in proportion to the service it
+// received divided by its duty cycle — a VM whose uncontended run was
+// half idle needs only half a quantum of service to advance a full
+// quantum of virtual time. When both SMT siblings of a core are busy in
+// a quantum each runs at P.SMTShare throughput. The replay is RNG-free
+// and strictly ordered, so results are bit-identical for a given
+// topology and demand set.
+func (s *Scheduler) Replay(demands []Demand) ReplayResult {
+	h := s.h
+	t := h.Topo
+	nctx := t.Contexts()
+	res := ReplayResult{
+		VMs:          make([]VMOutcome, len(demands)),
+		CtxBusy:      make([]sim.Time, nctx),
+		CoreUtil:     make([]float64, t.Cores()),
+		StolenByCore: make([]sim.Time, t.Cores()),
+	}
+
+	// Build the run queue.
+	var threads []*thread
+	residents := make([][]*thread, nctx)
+	progress := make([]float64, len(demands))
+	done := make([]bool, len(demands))
+	remaining := 0
+	for i := range demands {
+		d := &demands[i]
+		res.VMs[i] = VMOutcome{VM: d.VM, Slowdown: 1}
+		if d.Total <= 0 {
+			done[i] = true
+			continue
+		}
+		remaining++
+		main := &thread{vm: i, ctx: d.Ctxs[0], pinned: d.Pinned}
+		threads = append(threads, main)
+		residents[main.ctx] = append(residents[main.ctx], main)
+		if len(d.Ctxs) > 1 {
+			helper := &thread{vm: i, helper: true, ctx: d.Ctxs[1], pinned: true}
+			threads = append(threads, helper)
+			residents[helper.ctx] = append(residents[helper.ctx], helper)
+		}
+	}
+	if remaining == 0 {
+		return res
+	}
+
+	q := float64(h.P.Quantum)
+	demand := make([]float64, nctx) // requested context time this quantum
+	occupied := make([]bool, nctx)  // context issued at all this quantum
+	var quanta uint64
+	const maxQuanta = 50_000_000 // safety valve: ~42 minutes of 50us ticks
+
+	// threadDemand is how much of the quantum a thread wants its context.
+	threadDemand := func(th *thread) float64 {
+		d := &demands[th.vm]
+		if done[th.vm] {
+			return 0
+		}
+		if th.helper {
+			if d.HelperPoll {
+				return q // a polling SVt-thread never yields
+			}
+			return d.HelperFrac * q
+		}
+		u := float64(d.Busy) / float64(d.Total)
+		if u > 1 {
+			u = 1
+		}
+		return u * q
+	}
+
+	for remaining > 0 && quanta < maxQuanta {
+		quanta++
+		now := h.Eng.Now()
+		end := now + h.P.Quantum
+
+		// Pass 1: per-context demand.
+		for c := 0; c < nctx; c++ {
+			demand[c] = 0
+			occupied[c] = false
+			for _, th := range residents[c] {
+				demand[c] += threadDemand(th)
+			}
+			if demand[c] > 0 {
+				occupied[c] = true
+			}
+		}
+
+		// Pass 2: SMT contention + service delivery, in context order.
+		for c := 0; c < nctx; c++ {
+			if !occupied[c] {
+				continue
+			}
+			core := t.CoreOf(CtxID(c))
+			// SMT penalty proportional to sibling occupancy: a sibling
+			// busy the whole quantum degrades this context to SMTShare;
+			// a 5%-duty mwait helper costs 5% of that penalty.
+			speed := 1.0
+			sib := -1
+			if t.ThreadsPerCore >= 2 {
+				sib = int(t.Sibling(CtxID(c)))
+			}
+			if sib >= 0 && occupied[sib] {
+				sibWall := demand[sib]
+				if sibWall > q {
+					sibWall = q
+				}
+				speed = 1 - (1-h.P.SMTShare)*(sibWall/q)
+			}
+			// The context runs for min(q, demand) wall time at `speed`
+			// effective throughput; each thread receives service in
+			// proportion to what it asked for.
+			wall := demand[c]
+			if wall > q {
+				wall = q
+			}
+			res.CtxBusy[c] += sim.Time(wall)
+			share := 1.0
+			if demand[c] > q {
+				share = q / demand[c]
+			}
+			for _, th := range residents[c] {
+				td := threadDemand(th)
+				if td == 0 || th.helper {
+					continue
+				}
+				service := td * share * speed
+				d := &demands[th.vm]
+				u := float64(d.Busy) / float64(d.Total)
+				if u <= 0 {
+					progress[th.vm] += q
+				} else {
+					if u > 1 {
+						u = 1
+					}
+					progress[th.vm] += service / u
+				}
+			}
+			// Sibling cycles stolen by a polling SVt-thread: wall time
+			// the sibling loses because this context's poller keeps its
+			// issue ports busy the entire quantum.
+			if sib >= 0 && occupied[sib] {
+				for _, th := range residents[c] {
+					if th.helper && demands[th.vm].HelperPoll && !done[th.vm] {
+						sibWall := demand[sib]
+						if sibWall > q {
+							sibWall = q
+						}
+						stolen := sim.Time(sibWall * (1 - h.P.SMTShare))
+						res.StolenByCore[core] += stolen
+						res.StolenTotal += stolen
+						break
+					}
+				}
+			}
+		}
+
+		// Pass 3: completions (end-of-quantum granularity).
+		for i := range demands {
+			if done[i] {
+				continue
+			}
+			if progress[i] >= float64(demands[i].Total) {
+				done[i] = true
+				remaining--
+				res.VMs[i].Finish = end
+				res.VMs[i].Slowdown = float64(end) / float64(demands[i].Total)
+				// Finished threads leave their contexts.
+				for c := 0; c < nctx; c++ {
+					rs := residents[c][:0]
+					for _, th := range residents[c] {
+						if th.vm != i {
+							rs = append(rs, th)
+						}
+					}
+					residents[c] = rs
+				}
+			}
+		}
+
+		// Pass 4: periodic load balance — move one movable (unpinned)
+		// thread from the busiest context to the idlest, and kick both
+		// cores with resched IPIs through the apic plane.
+		if h.P.RebalanceEvery > 0 && quanta%uint64(h.P.RebalanceEvery) == 0 && remaining > 0 {
+			s.rebalance(residents)
+		}
+
+		// Advance the shared clock to the end of the quantum,
+		// dispatching IPI deliveries and anything else scheduled on it.
+		h.Eng.RunUntil(end)
+	}
+
+	res.Elapsed = h.Eng.Now()
+	res.Quanta = quanta
+	res.Migrations = s.migrations
+	res.ReschedIPIs = s.reschedIPIs
+	if res.Elapsed > 0 {
+		for core := 0; core < t.Cores(); core++ {
+			var busy sim.Time
+			for th := 0; th < t.ThreadsPerCore; th++ {
+				busy += res.CtxBusy[core*t.ThreadsPerCore+th]
+			}
+			res.CoreUtil[core] = float64(busy) / (float64(res.Elapsed) * float64(t.ThreadsPerCore))
+		}
+	}
+	return res
+}
+
+// rebalance moves one unpinned thread from the most crowded context to
+// the least crowded when the imbalance is at least two runnable
+// threads, mirroring a conservative CFS-style idle-pull.
+func (s *Scheduler) rebalance(residents [][]*thread) {
+	maxC, minC := -1, -1
+	maxN, minN := -1, math.MaxInt
+	for c := range residents {
+		n := len(residents[c])
+		if n > maxN {
+			maxN, maxC = n, c
+		}
+		if n < minN {
+			minN, minC = n, c
+		}
+	}
+	if maxC < 0 || minC < 0 || maxN-minN < 2 {
+		return
+	}
+	var mover *thread
+	for _, th := range residents[maxC] {
+		if !th.pinned {
+			mover = th
+			break
+		}
+	}
+	if mover == nil {
+		return
+	}
+	rs := residents[maxC][:0]
+	for _, th := range residents[maxC] {
+		if th != mover {
+			rs = append(rs, th)
+		}
+	}
+	residents[maxC] = rs
+	residents[minC] = append(residents[minC], mover)
+	src := mover.ctx
+	mover.ctx = CtxID(minC)
+	s.load[src]--
+	s.load[minC]++
+	s.migrations++
+	s.reschedIPIs += 2
+	s.h.SendIPI(0, CtxID(minC), apic.VecIPI)
+	s.h.SendIPI(0, src, apic.VecIPI)
+}

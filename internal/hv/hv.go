@@ -46,6 +46,31 @@ func (m Mode) String() string {
 	}
 }
 
+// AllModes returns the four system variants in their canonical order.
+// The result is a fresh slice each call, so callers may reorder or trim
+// it freely.
+func AllModes() []Mode {
+	return []Mode{ModeBaseline, ModeSWSVt, ModeHWSVt, ModeHWSVtBypass}
+}
+
+// ParseMode is the inverse of Mode.String, plus the "sw"/"hw" CLI
+// shorthands — the one place mode names are parsed, so flags, reports
+// and check repro files all agree.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "baseline":
+		return ModeBaseline, nil
+	case "sw-svt", "sw":
+		return ModeSWSVt, nil
+	case "hw-svt", "hw":
+		return ModeHWSVt, nil
+	case "hw-svt-bypass", "bypass":
+		return ModeHWSVtBypass, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (baseline, sw-svt, hw-svt, hw-svt-bypass)", s)
+	}
+}
+
 // Device is an emulated MMIO device (virtio transport): MMIOWrite handles
 // trapped accesses to its window (kicks); OnIRQ runs completion
 // processing in the owning kernel's execution context.

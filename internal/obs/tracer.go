@@ -145,6 +145,15 @@ func (t *Tracer) EngineTrack() int {
 	return t.nctx + 1
 }
 
+// SetTrackName renames a track (multi-core hosts label context tracks
+// with their socket/core/thread coordinates).
+func (t *Tracer) SetTrackName(i int, name string) {
+	if t == nil || i < 0 || i >= len(t.names) {
+		return
+	}
+	t.names[i] = name
+}
+
 // TrackName reports a track's display name.
 func (t *Tracer) TrackName(i int) string {
 	if t == nil || i < 0 || i >= len(t.names) {

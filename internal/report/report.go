@@ -48,8 +48,8 @@ func hr(w io.Writer, title string) {
 
 // Table1 runs the baseline nested cpuid breakdown and prints it next to
 // the paper's Table 1.
-func Table1(w io.Writer, n int) {
-	res := exp.CPUIDNested(hv.ModeBaseline, n)
+func (rr *Renderer) Table1(w io.Writer, n int) {
+	res := rr.s.CPUIDNested(hv.ModeBaseline, n)
 	hr(w, "Table 1: time breakdown for a cpuid instruction in a nested VM")
 	total := res.Breakdown.Total()
 	perOp := res.PerOp
@@ -66,7 +66,7 @@ func Table1(w io.Writer, n int) {
 // Table3 counts the lines of the packages that correspond to the
 // prototype's code changes, mirroring the paper's Table 3 (LoC summary of
 // the QEMU/KVM changes).
-func Table3(w io.Writer, root string) {
+func (rr *Renderer) Table3(w io.Writer, root string) {
 	hr(w, "Table 3: summary of code changes (this reproduction's analogues)")
 	rows := []struct {
 		Codebase string
@@ -106,7 +106,7 @@ func countGoLines(dir string) int {
 }
 
 // Table4 echoes the modelled machine parameters.
-func Table4(w io.Writer) {
+func (rr *Renderer) Table4(w io.Writer) {
 	hr(w, "Table 4: machine parameters (modelled)")
 	fmt.Fprintln(w, "L0   2x Intel E5-2630v3 model (calibrated cost model), 2x64GB RAM, 10Gb NIC model")
 	fmt.Fprintln(w, "L1   vCPUs pinned per experiment, virtio-net+vhost, virtio disk @ ramfs model")
@@ -114,20 +114,20 @@ func Table4(w io.Writer) {
 }
 
 // Figure6 renders the cpuid latency bars.
-func Figure6(w io.Writer, n int) {
+func (rr *Renderer) Figure6(w io.Writer, n int) {
 	hr(w, "Figure 6: execution time of a cpuid instruction")
-	cells := parallel.Map(5, func(i int) exp.CPUIDResult {
+	cells := parallel.MapN(rr.s.Workers(), 5, func(i int) exp.CPUIDResult {
 		switch i {
 		case 0:
-			return exp.CPUIDNative(n)
+			return rr.s.CPUIDNative(n)
 		case 1:
-			return exp.CPUIDSingleLevel(n)
+			return rr.s.CPUIDSingleLevel(n)
 		case 2:
-			return exp.CPUIDNested(hv.ModeBaseline, n)
+			return rr.s.CPUIDNested(hv.ModeBaseline, n)
 		case 3:
-			return exp.CPUIDNested(hv.ModeSWSVt, n)
+			return rr.s.CPUIDNested(hv.ModeSWSVt, n)
 		default:
-			return exp.CPUIDNested(hv.ModeHWSVt, n)
+			return rr.s.CPUIDNested(hv.ModeHWSVt, n)
 		}
 	})
 	l0, l1, l2, sw, hw := cells[0], cells[1], cells[2], cells[3], cells[4]
@@ -148,7 +148,7 @@ func Figure6(w io.Writer, n int) {
 }
 
 // Figure7 renders the six I/O subsystem bars.
-func Figure7(w io.Writer, quick bool) {
+func (rr *Renderer) Figure7(w io.Writer, quick bool) {
 	hr(w, "Figure 7: speedup of SVt on various I/O subsystems")
 	nLat, nBW := 200, 400
 	dur := 200 * sim.Millisecond
@@ -163,22 +163,22 @@ func Figure7(w io.Writer, quick bool) {
 	}
 	benches := []bench{
 		{"Network latency", func(m hv.Mode) (float64, string, bool) {
-			return exp.NetLatency(m, nLat).MeanUs, "usec", false
+			return rr.s.NetLatency(m, nLat).MeanUs, "usec", false
 		}, "base 163us, SW 1.10x, HW 2.38x"},
 		{"Network bandwidth", func(m hv.Mode) (float64, string, bool) {
-			return exp.NetBandwidth(m, dur).Mbps, "Mbps", true
+			return rr.s.NetBandwidth(m, dur).Mbps, "Mbps", true
 		}, "base 9387Mbps, SW 1.00x, HW 1.12x"},
 		{"Disk randrd latency", func(m hv.Mode) (float64, string, bool) {
-			return exp.DiskLatency(m, false, nLat).MeanUs, "usec", false
+			return rr.s.DiskLatency(m, false, nLat).MeanUs, "usec", false
 		}, "base 126us, SW 1.30x, HW 2.18x"},
 		{"Disk randrd bandwidth", func(m hv.Mode) (float64, string, bool) {
-			return exp.DiskBandwidth(m, false, nBW).KBs, "KB/s", true
+			return rr.s.DiskBandwidth(m, false, nBW).KBs, "KB/s", true
 		}, "base 87136KB/s, SW 1.55x, HW 2.31x"},
 		{"Disk randwr latency", func(m hv.Mode) (float64, string, bool) {
-			return exp.DiskLatency(m, true, nLat).MeanUs, "usec", false
+			return rr.s.DiskLatency(m, true, nLat).MeanUs, "usec", false
 		}, "base 179us, SW 1.05x, HW 2.26x"},
 		{"Disk randwr bandwidth", func(m hv.Mode) (float64, string, bool) {
-			return exp.DiskBandwidth(m, true, nBW).KBs, "KB/s", true
+			return rr.s.DiskBandwidth(m, true, nBW).KBs, "KB/s", true
 		}, "base 55769KB/s, SW 1.18x, HW 2.60x"},
 	}
 	modes := []hv.Mode{hv.ModeBaseline, hv.ModeSWSVt, hv.ModeHWSVt}
@@ -187,7 +187,7 @@ func Figure7(w io.Writer, quick bool) {
 		unit   string
 		higher bool
 	}
-	grid := parallel.Map(len(benches)*len(modes), func(i int) cell {
+	grid := parallel.MapN(rr.s.Workers(), len(benches)*len(modes), func(i int) cell {
 		v, u, h := benches[i/len(modes)].run(modes[i%len(modes)])
 		return cell{val: v, unit: u, higher: h}
 	})
@@ -207,7 +207,7 @@ func Figure7(w io.Writer, quick bool) {
 }
 
 // Figure8 renders the memcached load sweep.
-func Figure8(w io.Writer, quick bool) {
+func (rr *Renderer) Figure8(w io.Writer, quick bool) {
 	hr(w, "Figure 8: memcached latency vs request load (ETC workload, SLA 500us)")
 	d := 500 * sim.Millisecond
 	rates := []float64{2000, 4000, 6000, 8000, 10000, 12000, 14000, 16000}
@@ -217,12 +217,12 @@ func Figure8(w io.Writer, quick bool) {
 	}
 	fmt.Fprintf(w, "%-10s | %-26s | %-26s\n", "load", "baseline", "SW SVt")
 	fmt.Fprintf(w, "%-10s | %12s %12s | %12s %12s\n", "(q/s)", "avg(us)", "p99(us)", "avg(us)", "p99(us)")
-	grid := parallel.Map(len(rates)*2, func(i int) exp.MemcachedResult {
+	grid := parallel.MapN(rr.s.Workers(), len(rates)*2, func(i int) exp.MemcachedResult {
 		mode := hv.ModeBaseline
 		if i%2 == 1 {
 			mode = hv.ModeSWSVt
 		}
-		return exp.Memcached(mode, rates[i/2], d)
+		return rr.s.Memcached(mode, rates[i/2], d)
 	})
 	for ri, r := range rates {
 		b := grid[ri*2]
@@ -240,17 +240,17 @@ func Figure8(w io.Writer, quick bool) {
 }
 
 // Figure9 renders the TPC-C throughput comparison.
-func Figure9(w io.Writer, quick bool) {
+func (rr *Renderer) Figure9(w io.Writer, quick bool) {
 	hr(w, "Figure 9: throughput for TPC-C + PostgreSQL model")
 	d := 2 * sim.Second
 	if quick {
 		d = 400 * sim.Millisecond
 	}
-	cells := parallel.Map(2, func(i int) float64 {
+	cells := parallel.MapN(rr.s.Workers(), 2, func(i int) float64 {
 		if i == 0 {
-			return exp.TPCC(hv.ModeBaseline, d)
+			return rr.s.TPCC(hv.ModeBaseline, d)
 		}
-		return exp.TPCC(hv.ModeSWSVt, d)
+		return rr.s.TPCC(hv.ModeSWSVt, d)
 	})
 	base, svt := cells[0], cells[1]
 	fmt.Fprintf(w, "Baseline  %6.2f ktpm\n", base)
@@ -259,7 +259,7 @@ func Figure9(w io.Writer, quick bool) {
 }
 
 // Figure10 renders the video playback drops.
-func Figure10(w io.Writer, quick bool) {
+func (rr *Renderer) Figure10(w io.Writer, quick bool) {
 	hr(w, "Figure 10: video playback dropped frames vs frame rate")
 	frames := func(fps int) int { return fps * 300 }
 	if quick {
@@ -268,13 +268,13 @@ func Figure10(w io.Writer, quick bool) {
 	fmt.Fprintf(w, "%-8s %10s %10s %10s | %s\n", "FPS", "baseline", "SW SVt", "ratio", "paper")
 	paper := map[int]string{24: "0 / 0", 60: "3 / 0", 120: "40 / 0.65x"}
 	fpss := []int{24, 60, 120}
-	grid := parallel.Map(len(fpss)*2, func(i int) exp.VideoResult {
+	grid := parallel.MapN(rr.s.Workers(), len(fpss)*2, func(i int) exp.VideoResult {
 		mode := hv.ModeBaseline
 		if i%2 == 1 {
 			mode = hv.ModeSWSVt
 		}
 		fps := fpss[i/2]
-		return exp.VideoN(mode, fps, frames(fps))
+		return rr.s.VideoN(mode, fps, frames(fps))
 	})
 	for fi, fps := range fpss {
 		b := grid[fi*2]
@@ -288,13 +288,13 @@ func Figure10(w io.Writer, quick bool) {
 }
 
 // Channels renders the §6.1 communication-channel study.
-func Channels(w io.Writer, quick bool) {
+func (rr *Renderer) Channels(w io.Writer, quick bool) {
 	hr(w, "Section 6.1: SW SVt communication-channel study (nested cpuid)")
 	n := 400
 	if quick {
 		n = 150
 	}
-	pts := exp.ChannelStudy(n, []sim.Time{0, 5 * sim.Microsecond, 20 * sim.Microsecond})
+	pts := rr.s.ChannelStudy(n, []sim.Time{0, 5 * sim.Microsecond, 20 * sim.Microsecond})
 	fmt.Fprintf(w, "%-8s %-12s %12s %12s\n", "policy", "placement", "workload", "per-op")
 	for _, p := range pts {
 		fmt.Fprintf(w, "%-8s %-12s %12s %12s\n", p.Policy, p.Placement, p.Workload, p.PerOp)
@@ -303,9 +303,9 @@ func Channels(w io.Writer, quick bool) {
 }
 
 // Profiles renders the §6.2/§6.3 exit-reason profiles.
-func Profiles(w io.Writer) {
+func (rr *Renderer) Profiles(w io.Writer) {
 	hr(w, "Sections 6.2/6.3: L0 time by nested exit reason (netperf TCP_RR)")
-	res := exp.NetLatency(hv.ModeBaseline, 150)
+	res := rr.s.NetLatency(hv.ModeBaseline, 150)
 	p := res.ExitStats
 	for r := isa.ExitReason(0); r < isa.NumExitReasons; r++ {
 		if p.Count[r] == 0 {

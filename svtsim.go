@@ -43,6 +43,9 @@ import (
 // svtbench's section fan-out. n <= 0 restores the default, GOMAXPROCS.
 // Each experiment cell owns its own engine and seeded RNG streams, so
 // results are byte-identical at any width; only wall-clock time changes.
+//
+// Deprecated: this sets the process-wide pool. Use NewSession with
+// WithParallelism for per-campaign width.
 func SetParallelism(n int) { parallel.SetWorkers(n) }
 
 // Parallelism reports the effective worker-pool width.
@@ -62,7 +65,10 @@ const (
 )
 
 // Modes lists the variants in the paper's presentation order.
-var Modes = []Mode{Baseline, SWSVt, HWSVt}
+//
+// Deprecated: use AllModes, which returns a fresh slice that cannot be
+// mutated out from under concurrent sweeps.
+var Modes = AllModes()
 
 // Time is virtual time in nanoseconds.
 type Time = sim.Time
@@ -212,10 +218,16 @@ type ObsPlane = obs.Plane
 // subsequent experiment runs. Arming never perturbs the simulation: the
 // plane only records over virtual time, so results are byte-identical
 // with tracing on or off.
+//
+// Deprecated: this mutates the default session shared by every
+// package-level experiment. Use NewSession(WithObs(...)) so concurrent
+// campaigns cannot race on one plane.
 func SetObs(o *ObsOptions) { exp.SetObs(o) }
 
 // LastObs returns the plane captured by the most recent experiment run
 // (nil when disarmed).
+//
+// Deprecated: use NewSession(WithObs(...)) and (*Session).LastObs.
 func LastObs() *ObsPlane { return exp.LastObs() }
 
 // --- Fault-injection plane ---------------------------------------------
@@ -247,6 +259,9 @@ func ParseFaultSpec(arg string, seed int64) (*FaultSpec, error) { return fault.P
 
 // SetFaults arms (or, with nil, clears) fault injection for all
 // subsequent experiment runs.
+//
+// Deprecated: use NewSession(WithFaults(...)) so concurrent campaigns
+// cannot race on one spec.
 func SetFaults(spec *FaultSpec) { exp.SetFaults(spec) }
 
 // FaultSweepResult is one fault-injection run's outcome and recovery
