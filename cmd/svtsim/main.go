@@ -34,6 +34,16 @@
 //
 //	svtsim -check 25 -check-seed 1
 //	svtsim -replay repro-7.sched
+//
+// Live migration: -migrate overlays snapshot-backed live-migration
+// points on a generated schedule and requires the guest-visible outcome
+// to be invariant to them (fails>=3 forces a mid-migration rollback);
+// -storm packs -vms VMs per mode and batters them with a seeded storm
+// of N concurrent gang migrations, reporting per-mode tail latency and
+// the recovery counters. Both are byte-identical per seed.
+//
+//	svtsim -migrate 2:0,5:3 -check-seed 7
+//	svtsim -storm 24 -vms 8 -host 2x8x2 -storm-seed 42
 package main
 
 import (
@@ -73,6 +83,22 @@ func buildFaultSpec(arg string, rate float64, seed int64) (*svtsim.FaultSpec, er
 	return spec, nil
 }
 
+// parseMigratePoints parses the -migrate syntax "after:fails[,...]".
+func parseMigratePoints(arg string) ([]svtsim.MigratePoint, error) {
+	var pts []svtsim.MigratePoint
+	for _, part := range strings.Split(arg, ",") {
+		var after, fails int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &after, &fails); err != nil {
+			return nil, fmt.Errorf("-migrate %q: want after:fails[,after:fails...]", arg)
+		}
+		if after < 0 || fails < 0 || fails > 8 {
+			return nil, fmt.Errorf("-migrate %q: after must be >= 0 and fails in 0..8", arg)
+		}
+		pts = append(pts, svtsim.MigratePoint{After: after, Fails: fails})
+	}
+	return pts, nil
+}
+
 func main() {
 	var (
 		modeStr   = flag.String("mode", "baseline", "system variant: baseline, sw-svt, hw-svt")
@@ -98,6 +124,9 @@ func main() {
 		checkSeed = flag.Int64("check-seed", 1, "first schedule seed for -check (seeds are consecutive)")
 		checkDir  = flag.String("check-dir", ".", "directory for shrunk repro files written by -check")
 		replay    = flag.String("replay", "", "replay a schedule file through the differential check, then exit")
+		migrate   = flag.String("migrate", "", "live-migration points after:fails[,after:fails...] overlaid on the -check-seed schedule, differentially checked, then exit (fails>=3 forces rollback)")
+		storm     = flag.Int("storm", 0, "run a seeded storm of N live gang migrations over -vms packed VMs per mode, then exit")
+		stormSeed = flag.Int64("storm-seed", 42, "storm plan seed for -storm (runs are byte-identical per seed)")
 	)
 	flag.Parse()
 
@@ -111,6 +140,18 @@ func main() {
 	}
 	if *checkN > 0 {
 		if failures := svtsim.CheckSchedules(os.Stdout, *checkN, *checkSeed, *checkDir); failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *migrate != "" {
+		pts, err := parseMigratePoints(*migrate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := svtsim.CheckMigratedSchedule(os.Stdout, *checkSeed, pts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
@@ -137,6 +178,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *storm > 0 {
+		k := *vms
+		if k <= 0 {
+			k = 8
+		}
+		fmt.Printf("migration storm: %d VMs, %d events, seed %d, host %s\n", k, *storm, *stormSeed, topo)
+		for _, r := range sess.StormTable(svtsim.AllModes(), k, *storm, *stormSeed) {
+			fmt.Println(r.StatsLine())
+		}
+		return
 	}
 
 	if *density {

@@ -33,6 +33,9 @@ type LAPIC struct {
 	npending int
 
 	deadlineEv sim.EventRef
+	// deadline mirrors the armed IA32_TSC_DEADLINE value (0 = disarmed)
+	// so snapshot capture can serialize the timer and restore re-arm it.
+	deadline   sim.Time
 	timerFired obs.Counter
 	delivered  obs.Counter
 	dropped    obs.Counter
@@ -170,11 +173,13 @@ func (l *LAPIC) Ack(vec int) bool {
 func (l *LAPIC) SetTSCDeadline(t sim.Time) {
 	l.eng.Cancel(l.deadlineEv)
 	l.deadlineEv = sim.EventRef{}
+	l.deadline = t
 	if t == 0 {
 		return
 	}
 	l.deadlineEv = l.eng.At(t, func() {
 		l.deadlineEv = sim.EventRef{}
+		l.deadline = 0
 		l.timerFired.Inc()
 		l.Deliver(VecTimer)
 	})

@@ -1,0 +1,39 @@
+package apic
+
+import "svtsim/internal/sim"
+
+// State is the canonical serializable form of a LAPIC: the pending
+// vector set (IRR) in ascending order and the armed TSC deadline
+// (0 = disarmed). Delivery tallies are diagnostics, not architectural
+// state, and are excluded.
+type State struct {
+	Pending  []int
+	Deadline sim.Time
+}
+
+// SaveState captures the LAPIC's architectural state.
+func (l *LAPIC) SaveState() State {
+	s := State{Deadline: l.deadline}
+	for v := 0; v < 256; v++ {
+		if l.pending[v] {
+			s.Pending = append(s.Pending, v)
+		}
+	}
+	return s
+}
+
+// LoadState replaces the pending set and re-arms (or disarms) the
+// deadline timer. Re-arming goes through SetTSCDeadline so the one-shot
+// event is rescheduled on the engine; a deadline already in the past is
+// clamped to now by the engine and fires on the next dispatch.
+func (l *LAPIC) LoadState(s State) {
+	l.pending = [256]bool{}
+	l.npending = 0
+	for _, v := range s.Pending {
+		if v >= 0 && v < 256 && !l.pending[v] {
+			l.pending[v] = true
+			l.npending++
+		}
+	}
+	l.SetTSCDeadline(s.Deadline)
+}

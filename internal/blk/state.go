@@ -1,0 +1,26 @@
+package blk
+
+import (
+	"svtsim/internal/mem"
+	"svtsim/internal/sim"
+)
+
+// DiskState is the canonical serializable form of the disk: the
+// resident pages of the backing store and the service-model busy
+// horizon. Request/error tallies are diagnostics and are excluded.
+type DiskState struct {
+	Pages     []mem.Page
+	BusyUntil sim.Time
+}
+
+// SaveState captures the disk contents and service state.
+func (d *Disk) SaveState() DiskState {
+	return DiskState{Pages: d.store.SavePages(), BusyUntil: d.busyUntil}
+}
+
+// LoadState replaces the disk contents and service state. Writes that
+// landed after the capture are dropped, as restore semantics require.
+func (d *Disk) LoadState(s DiskState) {
+	d.store.LoadPages(s.Pages)
+	d.busyUntil = s.BusyUntil
+}

@@ -15,8 +15,8 @@ func TestCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(files) < 3 {
-		t.Fatalf("corpus has %d schedules, expected at least 3 (ipi-deadlock, breaker-trip, smp-wake)", len(files))
+	if len(files) < 4 {
+		t.Fatalf("corpus has %d schedules, expected at least 4 (ipi-deadlock, breaker-trip, smp-wake, migrate-rollback)", len(files))
 	}
 	for _, path := range files {
 		path := path
@@ -32,7 +32,7 @@ func TestCorpus(t *testing.T) {
 // TestCorpusDecodes keeps the corpus files parseable independently of
 // whether their runs pass, so a codec change cannot silently orphan them.
 func TestCorpusDecodes(t *testing.T) {
-	for _, name := range []string{"ipi-deadlock.sched", "breaker-trip.sched", "smp-wake.sched"} {
+	for _, name := range []string{"ipi-deadlock.sched", "breaker-trip.sched", "smp-wake.sched", "migrate-rollback.sched"} {
 		raw, err := os.ReadFile(filepath.Join("testdata", name))
 		if err != nil {
 			t.Fatal(err)

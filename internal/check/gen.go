@@ -69,5 +69,24 @@ func Generate(seed int64) *Schedule {
 	// CPUID burst forces more guest instruction boundaries so every mode
 	// drains its pending set before guest-done.
 	s.Ops = append(s.Ops, Op{Kind: OpCPUID, A: 1})
+	// Every multi-core seed also live-migrates its gang mid-run. Like
+	// the core count, the point and the forced-failure budget derive from
+	// the seed value, not the rng stream, so pre-existing seeds keep
+	// their exact op sequences. Fails cycles through a clean move, one
+	// retry, and (Fails = 3 = MaxAttempts) a forced rollback.
+	if s.Cores > 1 {
+		// seed%9 is 0, 3, or 6 for multi-core seeds; map to 0, 1, 3.
+		fails := 0
+		switch seed % 9 {
+		case 3:
+			fails = 1
+		case 6:
+			fails = 3
+		}
+		s.Migrate = []MigratePoint{{
+			After: int(uint64(seed) / 3 % uint64(len(s.Ops))),
+			Fails: fails,
+		}}
+	}
 	return s
 }

@@ -64,6 +64,17 @@ func CheckSchedule(s *Schedule, opts *RunOpts) *Verdict {
 	for _, out := range v.Outcomes[1:] {
 		v.Diffs = append(v.Diffs, diffOutcomes(ref, out)...)
 	}
+	// Migrate-invariance: the guest-visible outcome must be identical
+	// with the schedule's migrations stripped out entirely — pause,
+	// transfer, retries, and rollback may cost the guest only time.
+	if len(s.Migrate) > 0 {
+		bare := s.clone()
+		bare.Migrate = nil
+		for _, d := range diffOutcomes(RunSchedule(bare, ref.Mode, opts), ref) {
+			d.Field = "migrate-invariance/" + d.Field
+			v.Diffs = append(v.Diffs, d)
+		}
+	}
 	return v
 }
 

@@ -13,6 +13,7 @@ import (
 	"svtsim/internal/machine"
 	"svtsim/internal/netsim"
 	"svtsim/internal/sim"
+	"svtsim/internal/snapshot"
 	"svtsim/internal/virtio"
 	"svtsim/internal/workload"
 )
@@ -71,6 +72,11 @@ type RunOpts struct {
 	// starts; tests use it to sabotage one mode (e.g. arm the
 	// DropOwnedExit hook) and watch the oracle catch it.
 	Mutate func(mode hv.Mode, m *machine.Machine)
+	// Sabotage runs against each captured snapshot at every migrate point
+	// before it is restored; tests use it to corrupt the image (e.g. drop
+	// a virtqueue index with MutateWord) and watch the broken restore
+	// diverge downstream where the oracle catches it.
+	Sabotage func(mode hv.Mode, snap *snapshot.Snapshot)
 }
 
 func (o *RunOpts) modes() []hv.Mode {
@@ -130,7 +136,7 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 		opts.Mutate(mode, m)
 	}
 
-	it := &interp{s: s, m: m, dig: fnvOffset}
+	it := &interp{s: s, m: m, io: io, mode: mode, dig: fnvOffset}
 	if s.Cores > 1 {
 		// Graft a multi-core host onto the machine's engine: the guest
 		// stack occupies core 0 and OpIPI becomes a genuine cross-core
@@ -154,11 +160,32 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 			target = m.VcpuSVt
 		}
 		m.L0.VectorRoute[apic.VecIPI] = target
+		// Only OpIPI's own send is routed into the machine: migration
+		// reschedule kicks also land on ctx 0 (the guest stack's core)
+		// and must be consumed by the host plane alone, or transparency
+		// would depend on placement traffic.
 		hst.OnIPI(0, func(vec int) {
 			hst.LAPIC(0).Ack(vec)
-			m.Core.LAPIC(cpu.ContextID(0)).Deliver(vec)
+			if it.expectIPI {
+				m.Core.LAPIC(cpu.ContextID(0)).Deliver(vec)
+			}
 		})
 		it.host = hst
+		if len(s.Migrate) > 0 {
+			// Admit the VM's gang to the scheduler so migrate points have
+			// a placement to move: the vCPU plus, under SW-SVt, its
+			// SVt-thread. The first admission deterministically lands the
+			// fully idle core 0.
+			gang := 1
+			if mode == hv.ModeSWSVt {
+				gang = 2
+			}
+			a := hst.Sched.Admit(0, gang)
+			it.assign = &a
+			if opts != nil {
+				it.sabotage = opts.Sabotage
+			}
+		}
 	}
 	m.InstallL2(io, s.UsesNet(), s.UsesBlk(), it.body)
 
@@ -213,7 +240,18 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 type interp struct {
 	s    *Schedule
 	m    *machine.Machine
+	io   *machine.IOStack
+	mode hv.Mode
 	host *host.Host // non-nil when the schedule models >1 core
+
+	// expectIPI gates the ctx-0 IPI arrival handler: only while OpIPI is
+	// waiting for its own injected vector do host-plane IPIs cross into
+	// the machine.
+	expectIPI bool
+	// assign is the VM's gang placement on the host scheduler; non-nil
+	// only for schedules with migrate points.
+	assign   *host.Assignment
+	sabotage func(mode hv.Mode, snap *snapshot.Snapshot)
 
 	dig      uint64
 	irqs     [256]uint64
@@ -285,6 +323,49 @@ func (it *interp) boundary(env *guest.Env, i int) {
 			it.violate(where, err)
 		}
 	}
+	for _, pt := range it.s.Migrate {
+		if pt.After == i {
+			it.migrate(env, pt)
+		}
+	}
+}
+
+// migrate executes one MigratePoint at an op boundary: the full state is
+// captured, digest-verified through a restore round trip on the live
+// machine, and the gang is live-migrated on the host scheduler, with the
+// guest charged for the downtime. The charge exceeds the worst-case IPI
+// latency, so the migration's reschedule kicks drain (as host-plane
+// acks) before the next op runs.
+func (it *interp) migrate(env *guest.Env, pt MigratePoint) {
+	where := fmt.Sprintf("migrate after op %d", pt.After)
+	snap := snapshot.Capture(it.m, it.io)
+	if it.sabotage != nil {
+		it.sabotage(it.mode, snap)
+	}
+	if err := snapshot.Restore(it.m, it.io, snap); err != nil {
+		it.violate(where, err)
+		return
+	}
+	if after := snapshot.Capture(it.m, it.io).Digest(); after != snap.Digest() {
+		it.violate(where, fmt.Errorf(
+			"snapshot round trip not digest-stable: %#016x -> %#016x", snap.Digest(), after))
+	}
+	if it.host == nil || it.assign == nil {
+		return
+	}
+	// Bounce the gang between core 0 and the farthest core: an SMT
+	// sibling pair at the destination, mirroring Admit's preference.
+	t := it.host.Topo
+	dstCore := 0
+	if t.CoreOf(it.assign.Ctxs[0]) == 0 {
+		dstCore = t.Cores() - 1
+	}
+	dst := make([]host.CtxID, len(it.assign.Ctxs))
+	for i := range dst {
+		dst[i] = host.CtxID(dstCore*t.ThreadsPerCore + i)
+	}
+	res := it.host.Sched.MigrateGang(it.assign, dst, snap.Bytes(), pt.Fails, host.DefaultMigrationParams())
+	env.Port.Charge(res.Downtime)
 }
 
 func (it *interp) exec(env *guest.Env, op Op) {
@@ -353,12 +434,15 @@ func (it *interp) exec(env *guest.Env, op Op) {
 		if it.host != nil {
 			// The farthest core sends a real cross-core IPI; its arrival
 			// at core 0's LAPIC injects at the L1 boundary.
+			it.expectIPI = true
 			from := it.host.Topo.Ctx(0, it.s.Cores-1, 0)
 			it.host.SendIPI(from, 0, apic.VecIPI)
+			env.WaitFor(func() bool { return it.irqs[apic.VecIPI] > before })
+			it.expectIPI = false
 		} else {
 			it.m.L1HV.InjectIRQ(it.m.VC12, apic.VecIPI)
+			env.WaitFor(func() bool { return it.irqs[apic.VecIPI] > before })
 		}
-		env.WaitFor(func() bool { return it.irqs[apic.VecIPI] > before })
 		it.add(it.irqs[apic.VecIPI] - before)
 
 	case OpSMPWake:

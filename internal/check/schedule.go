@@ -107,6 +107,23 @@ type Schedule struct {
 	WakeupDropRate float64
 	// Ops is the op sequence, executed in order on the L2 guest.
 	Ops []Op
+	// Migrate lists live-migration points: after op After completes (and
+	// its boundary invariant sweep passes), the VM's gang is snapshotted,
+	// digest-verified through a restore round trip, and live-migrated to
+	// another core of the multi-core host, with the first Fails attempts
+	// forced to fail (exercising retry, backoff, and — past the attempt
+	// budget — atomic rollback). Requires Cores > 1. The guest-visible
+	// outcome must be invariant to all of it.
+	Migrate []MigratePoint
+}
+
+// MigratePoint is one scheduled live migration (see Schedule.Migrate).
+type MigratePoint struct {
+	// After is the index of the op after which the migration fires.
+	After int
+	// Fails forces the first Fails attempts to fail. With the default
+	// MaxAttempts of 3, Fails >= 3 forces a rollback.
+	Fails int
 }
 
 // UsesNet reports whether any op needs the virtio-net device wired.
@@ -139,6 +156,9 @@ func (s *Schedule) Encode() []byte {
 	}
 	if s.WakeupDropRate > 0 {
 		fmt.Fprintf(&b, "faults wakeup-drop %s\n", strconv.FormatFloat(s.WakeupDropRate, 'g', -1, 64))
+	}
+	for _, p := range s.Migrate {
+		fmt.Fprintf(&b, "migrate %d %d\n", p.After, p.Fails)
 	}
 	for _, op := range s.Ops {
 		fmt.Fprintf(&b, "op %s %d %d\n", op.Kind, op.A, op.B)
@@ -207,6 +227,19 @@ func Decode(r io.Reader) (*Schedule, error) {
 				return nil, fmt.Errorf("check: line %d: wakeup-drop rate must be in (0,1]", line)
 			}
 			s.WakeupDropRate = v
+		case "migrate":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("check: line %d: migrate wants <after> <fails>", line)
+			}
+			after, err := strconv.Atoi(f[1])
+			if err != nil || after < 0 {
+				return nil, fmt.Errorf("check: line %d: migrate after must be >= 0", line)
+			}
+			fails, err := strconv.Atoi(f[2])
+			if err != nil || fails < 0 || fails > 8 {
+				return nil, fmt.Errorf("check: line %d: migrate fails must be in 0..8", line)
+			}
+			s.Migrate = append(s.Migrate, MigratePoint{After: after, Fails: fails})
 		case "op":
 			if len(f) != 4 {
 				return nil, fmt.Errorf("check: line %d: op wants kind and 2 arguments", line)
@@ -256,6 +289,14 @@ func (s *Schedule) validate() error {
 	if s.VCPUs < 2 && s.usesKind(OpSMPWake) {
 		return fmt.Errorf("check: smpwake requires vcpus 2")
 	}
+	if len(s.Migrate) > 0 && s.Cores < 2 {
+		return fmt.Errorf("check: migrate requires cores >= 2")
+	}
+	for _, p := range s.Migrate {
+		if p.After >= len(s.Ops) {
+			return fmt.Errorf("check: migrate after %d out of range (schedule has %d ops)", p.After, len(s.Ops))
+		}
+	}
 	return nil
 }
 
@@ -268,6 +309,7 @@ func FromBytes(data []byte) *Schedule {
 		s.Ops = []Op{{Kind: OpCPUID, A: 1}}
 		return s
 	}
+	ctl := data[0]
 	if data[0]&1 != 0 {
 		s.VCPUs = 2
 	}
@@ -294,6 +336,14 @@ func FromBytes(data []byte) *Schedule {
 	// delivered-IRQ sets are comparable across modes (see gen.go).
 	if s.Ops[len(s.Ops)-1].Kind != OpCPUID {
 		s.Ops = append(s.Ops, Op{Kind: OpCPUID, A: 1})
+	}
+	// On multi-core schedules one more control bit schedules a live
+	// migration, alternating between a clean move and a forced rollback.
+	if s.Cores > 1 && ctl&0x20 != 0 {
+		s.Migrate = []MigratePoint{{
+			After: int(ctl>>6) % len(s.Ops),
+			Fails: 3 * (int(ctl>>7) & 1),
+		}}
 	}
 	return s
 }

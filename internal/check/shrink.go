@@ -29,12 +29,11 @@ func Shrink(s *Schedule, opts *RunOpts) *Schedule {
 			if len(cur.Ops) <= 1 {
 				break
 			}
-			cand := cur.clone()
 			end := start + chunk
-			if end > len(cand.Ops) {
-				end = len(cand.Ops)
+			if end > len(cur.Ops) {
+				end = len(cur.Ops)
 			}
-			cand.Ops = append(cand.Ops[:start:start], cand.Ops[end:]...)
+			cand := cur.removeOps(start, end)
 			if len(cand.Ops) > 0 && fails(cand) {
 				cur = cand // same start index now names the next chunk
 			} else {
@@ -53,7 +52,29 @@ func Shrink(s *Schedule, opts *RunOpts) *Schedule {
 			cur = cand
 		}
 	}
-	if cur.Cores > 1 {
+	// Migrate points: drop each, then drive surviving Fails toward zero.
+	for i := 0; i < len(cur.Migrate); {
+		cand := cur.clone()
+		cand.Migrate = append(cand.Migrate[:i:i], cand.Migrate[i+1:]...)
+		if fails(cand) {
+			cur = cand
+		} else {
+			i++
+		}
+	}
+	for i := range cur.Migrate {
+		for cur.Migrate[i].Fails > 0 {
+			cand := cur.clone()
+			cand.Migrate[i].Fails /= 2
+			if !fails(cand) {
+				break
+			}
+			cur = cand
+		}
+	}
+	// The multi-core host can only come off once no migrate point needs
+	// it (validate requires cores >= 2 for migrations).
+	if cur.Cores > 1 && len(cur.Migrate) == 0 {
 		cand := cur.clone()
 		cand.Cores = 0
 		if fails(cand) {
@@ -89,7 +110,27 @@ func Shrink(s *Schedule, opts *RunOpts) *Schedule {
 func (s *Schedule) clone() *Schedule {
 	c := *s
 	c.Ops = append([]Op(nil), s.Ops...)
+	c.Migrate = append([]MigratePoint(nil), s.Migrate...)
 	return &c
+}
+
+// removeOps clones the schedule with ops [start, end) removed, dropping
+// migrate points inside the hole and shifting later ones left so they
+// keep firing after the same surviving op.
+func (s *Schedule) removeOps(start, end int) *Schedule {
+	c := s.clone()
+	c.Ops = append(c.Ops[:start:start], c.Ops[end:]...)
+	mig := c.Migrate[:0]
+	for _, p := range c.Migrate {
+		switch {
+		case p.After < start:
+			mig = append(mig, p)
+		case p.After >= end:
+			mig = append(mig, MigratePoint{After: p.After - (end - start), Fails: p.Fails})
+		}
+	}
+	c.Migrate = mig
+	return c
 }
 
 // ReproName is the canonical repro filename for a schedule.

@@ -3,6 +3,7 @@ package exp
 import (
 	"sync"
 
+	"svtsim/internal/fault"
 	"svtsim/internal/guest"
 	"svtsim/internal/host"
 	"svtsim/internal/hv"
@@ -10,6 +11,7 @@ import (
 	"svtsim/internal/netsim"
 	"svtsim/internal/parallel"
 	"svtsim/internal/sim"
+	"svtsim/internal/snapshot"
 	"svtsim/internal/stats"
 	"svtsim/internal/swsvt"
 	"svtsim/internal/workload"
@@ -81,7 +83,8 @@ type DensityResult struct {
 	MaxDensity int
 }
 
-// vmRun is one VM's phase-1 (uncontended) measurement.
+// vmRun is one VM's phase-1 (uncontended) measurement, plus the warmed
+// snapshot its cache entry forks for every VM it serves.
 type vmRun struct {
 	workload string
 	latUs    []float64
@@ -90,35 +93,60 @@ type vmRun struct {
 	total    sim.Time
 	poll     bool
 	frac     float64
+	// base is the VM's post-run snapshot image in canonical form.
+	// Cache hits hand out copy-on-write clones of it instead of
+	// resimulating, and its size prices storm-driven migrations.
+	base *snapshot.Snapshot
 }
 
-// vmKey identifies a cacheable phase-1 run: the same VM index at the
-// same placement class always reproduces the same run.
+// vmKey identifies a cacheable phase-1 run. The cpuid and netrr
+// workloads depend on the VM index only through the size class (i%4),
+// so any two such VMs with equal class, size, and placement share one
+// run — and one warmed snapshot; memcached VMs draw per-index RNG
+// streams and stay keyed by index.
 type vmKey struct {
-	vm    int
+	class string
+	size  int
+	vm    int // -1 for shareable classes
 	place swsvt.Placement
 }
 
-// vmCache memoizes phase-1 runs across packing levels: VM i's
-// uncontended behaviour depends only on its workload (derived from i)
-// and placement class, so a sweep over k reuses runs instead of
-// resimulating O(k²) machines. Duplicate concurrent computes are
-// harmless — both produce the identical value.
-type vmCache struct {
-	mu sync.Mutex
-	m  map[vmKey]vmRun
+func densityKey(i int, place swsvt.Placement) vmKey {
+	k := vmKey{class: densityWorkloadName(i), size: i % 4, vm: -1, place: place}
+	if k.class == "memcached" {
+		k.vm = i
+	}
+	return k
 }
 
-func (c *vmCache) get(s *Session, mode hv.Mode, key vmKey) vmRun {
+// vmCache memoizes phase-1 runs across packing levels and VM indices:
+// a sweep over k simulates each distinct (class, size, placement) cell
+// once and forks COW clones of its warmed snapshot for every other VM,
+// instead of resimulating O(k²) machines. Duplicate concurrent computes
+// are harmless — both produce the identical value. The sims/reuses
+// counters are exact only under a serial pool.
+type vmCache struct {
+	mu     sync.Mutex
+	m      map[vmKey]vmRun
+	sims   uint64
+	reuses uint64
+}
+
+func (c *vmCache) get(s *Session, mode hv.Mode, i int, place swsvt.Placement) vmRun {
+	key := densityKey(i, place)
 	c.mu.Lock()
 	r, ok := c.m[key]
+	if ok {
+		c.reuses++
+	}
 	c.mu.Unlock()
 	if ok {
 		return r
 	}
-	r = s.runDensityVM(mode, key.vm, key.place)
+	r = s.runDensityVM(mode, i, place)
 	c.mu.Lock()
 	c.m[key] = r
+	c.sims++
 	c.mu.Unlock()
 	return r
 }
@@ -146,8 +174,12 @@ func (s *Session) runDensityVM(mode hv.Mode, i int, place swsvt.Placement) vmRun
 	led := &sim.Ledger{}
 	r := vmRun{workload: densityWorkloadName(i)}
 
+	var runIO *machine.IOStack
 	finish := func(m *machine.Machine) {
 		s.run(m)
+		// Capture the warmed image before teardown: cache hits fork COW
+		// clones of it, and migrations price their transfers from it.
+		r.base = snapshot.Capture(m, runIO)
 		m.Shutdown()
 		r.total = m.Now()
 		r.busy = led.Total()
@@ -169,6 +201,7 @@ func (s *Session) runDensityVM(mode hv.Mode, i int, place swsvt.Placement) vmRun
 	case 1: // netperf TCP_RR (Figure 7)
 		n := 60 + 5*(i%4)
 		io := machine.WireNestedIO(&cfg, machine.DefaultIOParams())
+		runIO = io
 		m := machine.NewNested(cfg)
 		m.Eng.SetLedger(led)
 		io.NIC.Peer = &netsim.EchoPeer{
@@ -184,6 +217,7 @@ func (s *Session) runDensityVM(mode hv.Mode, i int, place swsvt.Placement) vmRun
 		rate := 20_000 + 2_500*float64(i%4)
 		d := 5 * sim.Millisecond
 		io := machine.WireNestedIO(&cfg, machine.DefaultIOParams())
+		runIO = io
 		m := machine.NewNested(cfg)
 		m.Eng.SetLedger(led)
 		srv := workload.DefaultMemcached(d + 100*sim.Millisecond)
@@ -224,10 +258,24 @@ func (s *Session) Consolidation(mode hv.Mode, k int) DensityPoint {
 }
 
 func (s *Session) consolidate(mode hv.Mode, k int, cache *vmCache) DensityPoint {
+	pt, _, _ := s.consolidateStorm(mode, k, cache, nil, nil)
+	return pt
+}
+
+// consolidateStorm is consolidate with an optional migration storm
+// overlaid on the phase-2 replay and an optional fault spec armed on
+// the host engine (so migrate/* and apic/ipi sites fire during the
+// storm); it additionally returns the raw replay result and the armed
+// plane so storm callers can read the gang and fire tallies.
+func (s *Session) consolidateStorm(mode hv.Mode, k int, cache *vmCache, plan *host.StormPlan, spec *fault.Spec) (DensityPoint, host.ReplayResult, *fault.Plane) {
 	topo := s.Topology()
 	h, err := host.New(topo, s.HostParams())
 	if err != nil {
 		panic("exp: " + err.Error())
+	}
+	var plane *fault.Plane
+	if spec != nil {
+		plane = spec.Build(h.Eng)
 	}
 
 	// Admission: the L0 scheduler places each VM's gang; SW-SVt
@@ -238,14 +286,23 @@ func (s *Session) consolidate(mode hv.Mode, k int, cache *vmCache) DensityPoint 
 		assigns[i] = h.Sched.Admit(i, nthreads)
 	}
 
-	// Phase 1: uncontended per-VM runs, fanned out on the pool.
+	// Phase 1: uncontended per-VM runs, fanned out on the pool. Cache
+	// hits cost a COW fork of the warmed snapshot instead of a cold
+	// simulation.
 	runs := parallel.MapN(s.Workers(), k, func(i int) vmRun {
-		return cache.get(s, mode, vmKey{vm: i, place: assigns[i].Place})
+		return cache.get(s, mode, i, assigns[i].Place)
 	})
 
-	// Phase 2: contention replay on the shared host engine.
+	// Phase 2: contention replay on the shared host engine. Each VM's
+	// live image is a COW clone of its cache entry's base snapshot — the
+	// clone shares every word slab, so forking the fleet is O(k) section
+	// tables — and its encoded size prices storm migrations.
 	demands := make([]host.Demand, k)
 	for i, r := range runs {
+		var image *snapshot.Snapshot
+		if r.base != nil {
+			image = r.base.Clone()
+		}
 		demands[i] = host.Demand{
 			VM:         i,
 			Ctxs:       assigns[i].Ctxs,
@@ -255,8 +312,11 @@ func (s *Session) consolidate(mode hv.Mode, k int, cache *vmCache) DensityPoint 
 			HelperFrac: r.frac,
 			Pinned:     nthreads == 2,
 		}
+		if image != nil {
+			demands[i].ImageBytes = image.Bytes()
+		}
 	}
-	res := h.Sched.Replay(demands)
+	res := h.Sched.ReplayStorm(demands, plan)
 
 	pt := DensityPoint{Mode: mode, K: k}
 	for i, r := range runs {
@@ -288,7 +348,7 @@ func (s *Session) consolidate(mode hv.Mode, k int, cache *vmCache) DensityPoint 
 	pt.ReschedIPIs = res.ReschedIPIs
 	_, smt, cc, numa := h.IPIsSent()
 	pt.IPIsSMT, pt.IPIsCore, pt.IPIsNUMA = smt, cc, numa
-	return pt
+	return pt, res, plane
 }
 
 // DensitySweep packs k = 1..kmax nested VMs per mode and reports every

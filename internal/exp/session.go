@@ -50,6 +50,13 @@ func (s *Session) SetFaults(spec *fault.Spec) {
 	s.mu.Unlock()
 }
 
+// faultSpec reads the armed fault spec under the session lock.
+func (s *Session) faultSpec() *fault.Spec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
 // SetObs arms (or, with nil, disarms) the observability plane for this
 // session's subsequent experiment runs. Arming never changes simulation
 // results — the plane only records, it never charges virtual time.

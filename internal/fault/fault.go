@@ -43,6 +43,16 @@ const (
 	SiteVirtioComplete = "virtio/complete"
 	// SiteBlkComplete guards disk I/O completions.
 	SiteBlkComplete = "blk/complete"
+	// SiteMigrateCapture guards the capture phase of a live gang
+	// migration: a Drop fails the attempt (source state could not be
+	// quiesced), a Delay stretches the pause window.
+	SiteMigrateCapture = "migrate/capture"
+	// SiteMigrateTransfer guards the distance-priced transfer phase.
+	SiteMigrateTransfer = "migrate/transfer"
+	// SiteMigrateRestore guards the restore phase at the destination; a
+	// dropped restore forces a retry and, past the attempt budget, the
+	// atomic rollback to the source placement.
+	SiteMigrateRestore = "migrate/restore"
 )
 
 // Sites lists every known site, sorted.
@@ -50,6 +60,7 @@ func Sites() []string {
 	s := []string{
 		SiteSVtWakeup, SiteRingPush, SiteRingPop,
 		SiteIRQ, SiteIPI, SiteVirtioComplete, SiteBlkComplete,
+		SiteMigrateCapture, SiteMigrateTransfer, SiteMigrateRestore,
 	}
 	sort.Strings(s)
 	return s

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"svtsim/internal/apic"
+	"svtsim/internal/fault"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
 )
@@ -33,6 +34,15 @@ type Scheduler struct {
 
 	migrations  uint64
 	reschedIPIs uint64
+
+	// Live-migration state (migrate.go): per-VM placement breakers and
+	// gang-migration counters.
+	placeBreakers  map[int]*fault.Breaker
+	gangMigrations uint64
+	gangRollbacks  uint64
+	gangRetries    uint64
+	gangSkipped    uint64
+	migDowntime    sim.Time
 }
 
 func newScheduler(h *Host) *Scheduler {
@@ -189,6 +199,9 @@ type Demand struct {
 	// Pinned marks gangs the balancer must not split (SW-SVt pairs:
 	// their placement class is baked into the per-VM simulation).
 	Pinned bool
+	// ImageBytes is the VM's snapshot image size, pricing the transfer
+	// phase of storm-driven live migrations (0 = a trivial image).
+	ImageBytes int
 }
 
 // VMOutcome is one VM's fate under contention.
@@ -217,6 +230,30 @@ type ReplayResult struct {
 	Migrations  uint64
 	ReschedIPIs uint64
 	Quanta      uint64
+
+	// Gang-migration tallies, populated by storm replays (zero when no
+	// storm plan fired).
+	GangMigrations    uint64
+	GangRollbacks     uint64
+	GangRetries       uint64
+	GangSkipped       uint64
+	MigrationDowntime sim.Time
+}
+
+// StormEvent asks the storm replay to live-migrate one VM's gang at the
+// start of a quantum. Fails forces the first Fails attempts to fail (on
+// top of whatever the fault plane injects at the migrate/* sites).
+type StormEvent struct {
+	Quantum uint64
+	VM      int
+	Fails   int
+}
+
+// StormPlan is a deterministic migration storm: events sorted by quantum
+// (then VM) and the pricing parameters they run under.
+type StormPlan struct {
+	Events []StormEvent
+	P      MigrationParams
 }
 
 // thread is the replay's run-queue entry.
@@ -238,6 +275,17 @@ type thread struct {
 // and strictly ordered, so results are bit-identical for a given
 // topology and demand set.
 func (s *Scheduler) Replay(demands []Demand) ReplayResult {
+	return s.ReplayStorm(demands, nil)
+}
+
+// ReplayStorm is Replay with a migration storm overlaid: at the start of
+// each named quantum the plan's VM is live-migrated (MigrateGang) to an
+// idle core, and the VM's demand is parked for the resulting downtime
+// window — guest-visible pause shows up as lost progress, exactly as a
+// real migration stalls a guest. A nil plan (or one with no events) is
+// byte-identical to Replay: the storm hooks touch no RNG and charge
+// nothing unless an event fires.
+func (s *Scheduler) ReplayStorm(demands []Demand, plan *StormPlan) ReplayResult {
 	h := s.h
 	t := h.Topo
 	nctx := t.Contexts()
@@ -251,6 +299,7 @@ func (s *Scheduler) Replay(demands []Demand) ReplayResult {
 	// Build the run queue.
 	var threads []*thread
 	residents := make([][]*thread, nctx)
+	vmThreads := make([][]*thread, len(demands)) // per-VM gang, main first
 	progress := make([]float64, len(demands))
 	done := make([]bool, len(demands))
 	remaining := 0
@@ -265,14 +314,32 @@ func (s *Scheduler) Replay(demands []Demand) ReplayResult {
 		main := &thread{vm: i, ctx: d.Ctxs[0], pinned: d.Pinned}
 		threads = append(threads, main)
 		residents[main.ctx] = append(residents[main.ctx], main)
+		vmThreads[i] = append(vmThreads[i], main)
 		if len(d.Ctxs) > 1 {
 			helper := &thread{vm: i, helper: true, ctx: d.Ctxs[1], pinned: true}
 			threads = append(threads, helper)
 			residents[helper.ctx] = append(residents[helper.ctx], helper)
+			vmThreads[i] = append(vmThreads[i], helper)
 		}
 	}
 	if remaining == 0 {
 		return res
+	}
+
+	// Storm state: per-VM live assignments (synced to thread positions
+	// before each migration) and pause windows parking a migrating VM's
+	// demand for its downtime.
+	pausedUntil := make([]sim.Time, len(demands))
+	var asg []Assignment
+	evIdx := 0
+	if plan != nil {
+		asg = make([]Assignment, len(demands))
+		for i := range demands {
+			asg[i] = Assignment{VM: i, Ctxs: append([]CtxID(nil), demands[i].Ctxs...)}
+			if len(asg[i].Ctxs) > 1 {
+				asg[i].Place = t.PlacementOf(asg[i].Ctxs[0], asg[i].Ctxs[1])
+			}
+		}
 	}
 
 	q := float64(h.P.Quantum)
@@ -282,10 +349,14 @@ func (s *Scheduler) Replay(demands []Demand) ReplayResult {
 	const maxQuanta = 50_000_000 // safety valve: ~42 minutes of 50us ticks
 
 	// threadDemand is how much of the quantum a thread wants its context.
+	var qNow sim.Time
 	threadDemand := func(th *thread) float64 {
 		d := &demands[th.vm]
 		if done[th.vm] {
 			return 0
+		}
+		if qNow < pausedUntil[th.vm] {
+			return 0 // paused in a migration's downtime window
 		}
 		if th.helper {
 			if d.HelperPoll {
@@ -304,6 +375,44 @@ func (s *Scheduler) Replay(demands []Demand) ReplayResult {
 		quanta++
 		now := h.Eng.Now()
 		end := now + h.P.Quantum
+		qNow = now
+
+		// Pass 0: storm events due this quantum fire before demand is
+		// computed, so the migration's pause takes effect immediately.
+		if plan != nil {
+			for evIdx < len(plan.Events) && plan.Events[evIdx].Quantum <= quanta {
+				ev := plan.Events[evIdx]
+				evIdx++
+				if ev.VM < 0 || ev.VM >= len(demands) || done[ev.VM] {
+					continue
+				}
+				a := &asg[ev.VM]
+				// Sync to where the balancer actually left the threads.
+				for i, th := range vmThreads[ev.VM] {
+					a.Ctxs[i] = th.ctx
+				}
+				dst := s.stormDest(a)
+				if dst == nil {
+					continue // no idle core to move to; skip this event
+				}
+				mres := s.MigrateGang(a, dst, demands[ev.VM].ImageBytes, ev.Fails, plan.P)
+				if mres.Completed {
+					for i, th := range vmThreads[ev.VM] {
+						old := th.ctx
+						rs := residents[old][:0]
+						for _, o := range residents[old] {
+							if o != th {
+								rs = append(rs, o)
+							}
+						}
+						residents[old] = rs
+						th.ctx = a.Ctxs[i]
+						residents[th.ctx] = append(residents[th.ctx], th)
+					}
+				}
+				pausedUntil[ev.VM] = now + mres.Downtime
+			}
+		}
 
 		// Pass 1: per-context demand.
 		for c := 0; c < nctx; c++ {
@@ -425,6 +534,11 @@ func (s *Scheduler) Replay(demands []Demand) ReplayResult {
 	res.Quanta = quanta
 	res.Migrations = s.migrations
 	res.ReschedIPIs = s.reschedIPIs
+	res.GangMigrations = s.gangMigrations
+	res.GangRollbacks = s.gangRollbacks
+	res.GangRetries = s.gangRetries
+	res.GangSkipped = s.gangSkipped
+	res.MigrationDowntime = s.migDowntime
 	if res.Elapsed > 0 {
 		for core := 0; core < t.Cores(); core++ {
 			var busy sim.Time
@@ -435,6 +549,38 @@ func (s *Scheduler) Replay(demands []Demand) ReplayResult {
 		}
 	}
 	return res
+}
+
+// stormDest picks where a storm migration sends the gang: the
+// lowest-numbered core not currently hosting any of it with enough idle
+// contexts (an idle sibling pair for a two-thread gang). nil means the
+// host has nowhere idle to move the gang and the event is skipped.
+func (s *Scheduler) stormDest(a *Assignment) []CtxID {
+	t := s.h.Topo
+	for core := 0; core < t.Cores(); core++ {
+		hosting := false
+		for _, c := range a.Ctxs {
+			if t.CoreOf(c) == core {
+				hosting = true
+			}
+		}
+		if hosting {
+			continue
+		}
+		base := CtxID(core * t.ThreadsPerCore)
+		if len(a.Ctxs) == 1 {
+			for th := 0; th < t.ThreadsPerCore; th++ {
+				if s.load[base+CtxID(th)] == 0 {
+					return []CtxID{base + CtxID(th)}
+				}
+			}
+			continue
+		}
+		if t.ThreadsPerCore >= 2 && s.load[base] == 0 && s.load[base+1] == 0 {
+			return []CtxID{base, base + 1}
+		}
+	}
+	return nil
 }
 
 // rebalance moves one unpinned thread from the most crowded context to

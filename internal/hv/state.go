@@ -1,0 +1,11 @@
+package hv
+
+// RestoreMSRs replaces the vCPU's emulated MSR store with a copy of
+// msrs; MSRSnapshot is the matching capture. Together they round-trip
+// the store through a machine snapshot without exposing the map itself.
+func (vc *VCPU) RestoreMSRs(msrs map[uint32]uint64) {
+	vc.msrStore = make(map[uint32]uint64, len(msrs))
+	for a, v := range msrs {
+		vc.msrStore[a] = v
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"svtsim/internal/ept"
 	"svtsim/internal/isa"
+	"svtsim/internal/swsvt"
 )
 
 // This file provides the whole-machine hooks the differential scenario
@@ -28,13 +29,21 @@ func fnvWord(h, x uint64) uint64 {
 }
 
 // StateDigest summarizes the nested guest's time-invariant architectural
-// end state: the guest hypervisor's emulated MSR store for its nested VM.
-// Two runs of the same schedule under different modes must produce the
-// same digest — that is the paper's transparency claim. Deliberately
+// end state: the guest hypervisor's emulated MSR store for its nested VM,
+// plus any commands stranded on the SW-SVt reflection rings. Two runs of
+// the same schedule under different modes must produce the same digest —
+// that is the paper's transparency claim. A healthy run always drains
+// both rings (the protocol is strictly request/response), so residual
+// commands contribute nothing across modes; a stranded CMD_VM_TRAP or
+// CMD_VM_RESUME is protocol state a broken restore dropped or duplicated,
+// and folding it here is what makes restore-transparency digest-checkable
+// (the reflection-protocol gap the ROADMAP flagged). Deliberately
 // excluded because they are time-variant, not architecture-variant:
 // vmcs12 GuestRIP (it advances once per reflected exit, and the number of
 // HLT wakeup spins a wait loop takes differs legitimately between modes)
 // and the TSC-deadline MSR (it stores an absolute virtual-time deadline).
+// Command Seq numbers are excluded for the same reason the push counters
+// are: they count protocol round trips, which differ across modes.
 func (m *Machine) StateDigest() uint64 {
 	h := fnvOffset
 	if m.VC12 != nil {
@@ -50,6 +59,17 @@ func (m *Machine) StateDigest() uint64 {
 		for _, a := range addrs {
 			h = fnvWord(h, uint64(a))
 			h = fnvWord(h, msrs[a])
+		}
+	}
+	if m.Chan != nil {
+		for _, ring := range []*swsvt.Ring{m.Chan.ToSVt, m.Chan.FromSVt} {
+			if ring == nil {
+				continue
+			}
+			for _, c := range ring.Pending() {
+				h = fnvWord(h, uint64(c.Type))
+				h = fnvWord(h, c.Exit)
+			}
 		}
 	}
 	return h

@@ -531,6 +531,17 @@ func (m *Machine) Shutdown() {
 // Now reports virtual time.
 func (m *Machine) Now() sim.Time { return m.Eng.Now() }
 
+// L2LAPIC returns the nested guest's virtual LAPIC, nil before InstallL2
+// has run. Snapshot capture reaches it through this accessor: the LAPIC
+// hangs off the native guest's port, which the machine otherwise keeps
+// private.
+func (m *Machine) L2LAPIC() *apic.LAPIC {
+	if m.l2NativeGuest == nil {
+		return nil
+	}
+	return m.l2NativeGuest.Port().VirtLAPIC
+}
+
 // NewSingleLevel assembles an L0 + single guest machine (the paper's
 // Figure 6 "L1" configuration).
 func NewSingleLevel(cfg Config) *Machine {

@@ -1,0 +1,41 @@
+package mem
+
+import "sort"
+
+// Page is one resident page's snapshot: its page index and a copy of
+// its contents.
+type Page struct {
+	Index uint64
+	Data  [PageSize]byte
+}
+
+// SavePages captures every materialized page, sorted by index, with
+// copied contents — mutating the live memory after a capture never
+// changes the snapshot.
+func (m *Memory) SavePages() []Page {
+	idxs := make([]uint64, 0, len(m.pages))
+	for i := range m.pages {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	pages := make([]Page, 0, len(idxs))
+	for _, i := range idxs {
+		p := Page{Index: i}
+		p.Data = *m.pages[i]
+		pages = append(pages, p)
+	}
+	return pages
+}
+
+// LoadPages replaces the entire contents of memory with the given page
+// set: pages materialized after the capture are dropped (they read as
+// zeros again), and restored contents are copied so the snapshot is
+// never aliased by subsequent writes.
+func (m *Memory) LoadPages(pages []Page) {
+	m.pages = make(map[uint64]*[PageSize]byte, len(pages))
+	for i := range pages {
+		pg := new([PageSize]byte)
+		*pg = pages[i].Data
+		m.pages[pages[i].Index] = pg
+	}
+}

@@ -62,6 +62,12 @@ const (
 	// KindFault is a fired fault-plane injection: Arg1 = 1 for a drop,
 	// Arg2 = injected delay in nanoseconds; the label names the site.
 	KindFault
+	// KindMigrate is one live gang-migration outcome on the destination
+	// (or, for a rollback, source) context's track: the span covers the
+	// VM's downtime window, Arg1 = VM id, Arg2 = attempts taken; the
+	// label distinguishes "migrate", "migrate-rollback" and
+	// "migrate-skip".
+	KindMigrate
 
 	NumKinds
 )
@@ -82,6 +88,7 @@ var kindNames = [NumKinds]string{
 	KindVirtioKick:     "virtio-kick",
 	KindVirtioComplete: "virtio-complete",
 	KindFault:          "fault",
+	KindMigrate:        "migrate",
 }
 
 func (k Kind) String() string {
@@ -95,7 +102,7 @@ func (k Kind) String() string {
 // as Chrome "X" complete events; the rest are "i" instants).
 func (k Kind) IsSpan() bool {
 	switch k {
-	case KindVMExit, KindNestedExit, KindReflect, KindWake, KindBlkIO:
+	case KindVMExit, KindNestedExit, KindReflect, KindWake, KindBlkIO, KindMigrate:
 		return true
 	}
 	return false

@@ -1,0 +1,66 @@
+package swsvt
+
+import "svtsim/internal/sim"
+
+// RingState is the canonical serializable form of a command ring: the
+// free-running head/tail/push counters plus the queued commands, oldest
+// first. Restoring writes the commands back at their original slots so
+// the head/tail arithmetic (and the Seq numbers already assigned)
+// replays exactly.
+type RingState struct {
+	Head, Tail, Pushes uint64
+	Cmds               []Cmd
+}
+
+// SaveState captures the ring.
+func (r *Ring) SaveState() RingState {
+	return RingState{Head: r.head, Tail: r.tail, Pushes: r.pushes, Cmds: r.Pending()}
+}
+
+// LoadState overwrites the ring from a saved state. The capacity must
+// match the capture (rings are fixed at machine construction).
+func (r *Ring) LoadState(s RingState) {
+	r.head, r.tail, r.pushes = s.Head, s.Tail, s.Pushes
+	for i, c := range s.Cmds {
+		r.buf[(s.Head+uint64(i))%uint64(len(r.buf))] = c
+	}
+}
+
+// Pending returns the queued commands oldest-first without consuming
+// them. It is what lets whole-machine digests fold residual protocol
+// state: a command stranded in a ring is architecturally meaningful —
+// an exit the SVt-thread never serviced, or a resume the vCPU never
+// reaped — and must not be invisible to restore-transparency checks.
+func (r *Ring) Pending() []Cmd {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	cmds := make([]Cmd, 0, n)
+	for i := r.head; i != r.tail; i++ {
+		cmds = append(cmds, r.buf[i%uint64(len(r.buf))])
+	}
+	return cmds
+}
+
+// ChannelState is the serializable slice of the reflection protocol's
+// per-channel state that lives outside the rings: the virtual time of
+// the SVt-thread's last return (feeds stolen-cycle accounting) and the
+// terminal stopped flag. Watchdog and breaker internals are recovery
+// machinery, re-armed fresh after a restore, and the obs counters are
+// diagnostics; neither is part of the architectural state.
+type ChannelState struct {
+	LastReturn sim.Time
+	Stopped    bool
+}
+
+// SaveState captures the channel's protocol state.
+func (ch *Channel) SaveState() ChannelState {
+	return ChannelState{LastReturn: ch.lastReturn, Stopped: ch.stopped}
+}
+
+// LoadState overwrites the channel's protocol state.
+func (ch *Channel) LoadState(s ChannelState) {
+	ch.lastReturn = s.LastReturn
+	ch.stopped = s.Stopped
+}

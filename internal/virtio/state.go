@@ -1,0 +1,41 @@
+package virtio
+
+// QueueState is the canonical serializable form of one side's private
+// virtqueue state. The rings and descriptor tables themselves live in
+// guest memory and travel with the memory image; this struct carries
+// only the shadows and free-list head the role keeps outside memory —
+// exactly the state a live migration must not drop (a stale avail or
+// used index desynchronizes driver and device forever).
+type QueueState struct {
+	FreeHead  uint16
+	NumFree   uint16
+	AvailIdx  uint16
+	UsedEvent uint16
+	LastAvail uint16
+	UsedIdx   uint64
+	LastUsed  uint16
+}
+
+// SaveState captures the handle's private state.
+func (q *Queue) SaveState() QueueState {
+	return QueueState{
+		FreeHead:  q.freeHead,
+		NumFree:   q.numFree,
+		AvailIdx:  q.availIdx,
+		UsedEvent: q.usedEvent,
+		LastAvail: q.lastAvail,
+		UsedIdx:   q.usedIdx,
+		LastUsed:  q.lastUsed,
+	}
+}
+
+// LoadState overwrites the handle's private state.
+func (q *Queue) LoadState(s QueueState) {
+	q.freeHead = s.FreeHead
+	q.numFree = s.NumFree
+	q.availIdx = s.AvailIdx
+	q.usedEvent = s.UsedEvent
+	q.lastAvail = s.LastAvail
+	q.usedIdx = s.UsedIdx
+	q.lastUsed = s.LastUsed
+}

@@ -230,6 +230,25 @@ func (s *Session) DensitySweep(modes []Mode, kmax int, sloUs float64) []DensityR
 	return s.exp.DensitySweep(modes, kmax, sloUs)
 }
 
+// StormResult is one mode's outcome under a migration storm.
+type StormResult = exp.StormResult
+
+// MigrationStorm packs k VMs in one mode and replays them under a
+// seeded storm of `storms` live gang migrations: VMs are paused,
+// snapshotted, moved between cores at distance-priced transfer rates,
+// and sometimes forced to fail mid-flight — driving retries, backoff,
+// and atomic gang rollback. The session's fault spec, when armed, fires
+// at the migrate/* sites during the storm. Deterministic per seed.
+func (s *Session) MigrationStorm(mode Mode, k, storms int, seed int64) StormResult {
+	return s.exp.MigrationStorm(mode, k, storms, seed)
+}
+
+// StormTable runs MigrationStorm for every mode on the session's worker
+// pool; the table is byte-identical to running the cells serially.
+func (s *Session) StormTable(modes []Mode, k, storms int, seed int64) []StormResult {
+	return s.exp.StormTable(modes, k, storms, seed)
+}
+
 // --- Session reports: paper-formatted output ---------------------------
 
 // ReportTable1 prints the Table 1 breakdown next to the paper's numbers.

@@ -20,6 +20,7 @@
 package svtsim
 
 import (
+	"fmt"
 	"io"
 
 	"svtsim/internal/check"
@@ -33,6 +34,7 @@ import (
 	"svtsim/internal/parallel"
 	"svtsim/internal/report"
 	"svtsim/internal/sim"
+	"svtsim/internal/snapshot"
 	"svtsim/internal/swsvt"
 )
 
@@ -248,6 +250,9 @@ const (
 	FaultSiteIPI            = fault.SiteIPI
 	FaultSiteVirtioComplete = fault.SiteVirtioComplete
 	FaultSiteBlkComplete    = fault.SiteBlkComplete
+	FaultSiteMigrateCapture = fault.SiteMigrateCapture
+	FaultSiteMigrateXfer    = fault.SiteMigrateTransfer
+	FaultSiteMigrateRestore = fault.SiteMigrateRestore
 )
 
 // FaultSites lists every known injection site.
@@ -329,3 +334,60 @@ func CheckSchedules(w io.Writer, n int, seed int64, dir string) int {
 // or shipped in the regression corpus) and re-runs the differential
 // check on it, reporting any divergence.
 func ReplaySchedule(w io.Writer, path string) error { return check.ReplayFile(w, path) }
+
+// MigratePoint schedules one live migration inside a differential
+// schedule: the VM's gang is snapshotted, digest-verified through a
+// restore round trip, and moved to another core after op After, with
+// the first Fails attempts forced to fail (Fails >= 3 forces an atomic
+// rollback under the default attempt budget).
+type MigratePoint = check.MigratePoint
+
+// CheckMigratedSchedule generates the seeded schedule, overlays the
+// given live-migration points (forcing a multi-core host if the
+// generator chose a single-core run, and wrapping each After into the
+// op range), and runs it through the differential oracle: the guest-
+// visible outcome must be invariant to when — and whether — the VM was
+// migrated or rolled back. The verdict is printed to w; a non-nil error
+// reports divergence.
+func CheckMigratedSchedule(w io.Writer, seed int64, pts []MigratePoint) error {
+	s := check.Generate(seed)
+	if s.Cores < 2 {
+		s.Cores = 4
+	}
+	s.Migrate = nil
+	for _, p := range pts {
+		p.After %= len(s.Ops)
+		s.Migrate = append(s.Migrate, p)
+	}
+	v := check.CheckSchedule(s, nil)
+	fmt.Fprintln(w, v.String())
+	if v.Failed() {
+		return fmt.Errorf("svtsim: schedule %d not invariant under migration", seed)
+	}
+	return nil
+}
+
+// --- Snapshot layer: canonical machine state ---------------------------
+
+// Snapshot is a machine's full architectural state in canonical
+// serializable form: ordered named sections of flat word streams, with
+// an FNV-1a digest, cheap copy-on-write clones, and incremental diff
+// pricing. See internal/snapshot and DESIGN.md §13.
+type Snapshot = snapshot.Snapshot
+
+// CaptureSnapshot serializes a machine's architectural state at a
+// quiescent boundary. io may be nil for machines without wired I/O.
+func CaptureSnapshot(m *Machine, io *IOStack) *Snapshot { return snapshot.Capture(m, io) }
+
+// RestoreSnapshot writes a snapshot back into a machine of identical
+// configuration (the one it came from, or a freshly built twin).
+func RestoreSnapshot(m *Machine, io *IOStack, snap *Snapshot) error {
+	return snapshot.Restore(m, io, snap)
+}
+
+// SnapshotRoundTrip captures, restores, and re-captures, returning both
+// digests; equal digests are the restore-fidelity guarantee live
+// migration relies on.
+func SnapshotRoundTrip(m *Machine, io *IOStack) (before, after uint64, err error) {
+	return snapshot.RoundTrip(m, io)
+}
