@@ -70,6 +70,10 @@ type DensityPoint struct {
 	IPIsSMT      uint64
 	IPIsCore     uint64
 	IPIsNUMA     uint64
+	// Events is the phase-2 replay's engine dispatch count — a pure
+	// simulation quantity, byte-identical at any shard count or pool
+	// width.
+	Events uint64
 }
 
 // DensityResult is one mode's full packing sweep.
@@ -269,13 +273,18 @@ func (s *Session) consolidate(mode hv.Mode, k int, cache *vmCache) DensityPoint 
 // plane so storm callers can read the gang and fire tallies.
 func (s *Session) consolidateStorm(mode hv.Mode, k int, cache *vmCache, plan *host.StormPlan, spec *fault.Spec) (DensityPoint, host.ReplayResult, *fault.Plane) {
 	topo := s.Topology()
-	h, err := host.New(topo, s.HostParams())
+	h, err := host.NewSharded(topo, s.HostParams(), s.Shards())
 	if err != nil {
 		panic("exp: " + err.Error())
 	}
 	var plane *fault.Plane
 	if spec != nil {
-		plane = spec.Build(h.Eng)
+		if plane = spec.Build(h.Eng); plane != nil {
+			// Arm every shard: LAPIC sites consult their own shard's
+			// injector, and a sharded host with faults armed runs the
+			// exact serial merge so consult order matches shards=1.
+			h.ArmFaults(plane)
+		}
 	}
 
 	// Admission: the L0 scheduler places each VM's gang; SW-SVt
@@ -346,6 +355,7 @@ func (s *Session) consolidateStorm(mode hv.Mode, k int, cache *vmCache, plan *ho
 	pt.StolenCycles = res.StolenTotal
 	pt.Migrations = res.Migrations
 	pt.ReschedIPIs = res.ReschedIPIs
+	pt.Events = res.Events
 	_, smt, cc, numa := h.IPIsSent()
 	pt.IPIsSMT, pt.IPIsCore, pt.IPIsNUMA = smt, cc, numa
 	return pt, res, plane

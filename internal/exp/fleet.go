@@ -1,0 +1,132 @@
+package exp
+
+// FleetReplay is the shard-scaling macrobenchmark: a pure event-engine
+// workload at fleet-host scale. Every hardware context of the topology
+// runs a self-rearming tick train on its own engine shard, and every
+// CrossEvery-th tick fires a reschedule IPI at the context half the
+// fleet away — a cross-socket hop, so on a sharded host the message
+// crosses shards with at least one lookahead of latency. The workload
+// is RNG-free and closed over virtual time only, so its digest must be
+// identical at every shard count; svtbench asserts exactly that while
+// measuring events/sec at shards = 1, 2, 4, 8.
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"svtsim/internal/apic"
+	"svtsim/internal/host"
+	"svtsim/internal/sim"
+)
+
+// FleetReplaySpec parameterizes the macro.
+type FleetReplaySpec struct {
+	Topo host.Topology
+	P    host.Params
+	// Shards is the engine shard count (<= 1 runs the single heap).
+	Shards int
+	// Dur is the simulated duration.
+	Dur sim.Time
+	// Tick is the base per-context tick period; each context adds a
+	// small deterministic stagger so shards never run in lockstep.
+	Tick sim.Time
+	// CrossEvery sends a cross-socket IPI every Nth tick (0 disables).
+	CrossEvery int
+}
+
+// DefaultFleetReplaySpec is the svtbench configuration: the paper's
+// 2x8x2 testbed host, 20 simulated milliseconds of 250ns ticks, an IPI
+// across the fleet every 64th tick.
+func DefaultFleetReplaySpec() FleetReplaySpec {
+	return FleetReplaySpec{
+		Topo:       host.DefaultTopology,
+		P:          host.DefaultParams(),
+		Shards:     1,
+		Dur:        20 * sim.Millisecond,
+		Tick:       250 * sim.Nanosecond,
+		CrossEvery: 64,
+	}
+}
+
+// FleetReplayResult is one FleetReplay run's outcome. Everything but
+// Shards is invariant across shard counts.
+type FleetReplayResult struct {
+	Shards int
+	// Events is the total engine dispatches (ticks + IPI deliveries).
+	Events uint64
+	// Ticks and IPIs break Events down by kind.
+	Ticks uint64
+	IPIs  uint64
+	// Elapsed is the simulated duration covered.
+	Elapsed sim.Time
+	// Digest fingerprints the guest-visible outcome: per-context tick
+	// counts, per-context IPI arrivals, per-core event attribution.
+	Digest uint64
+}
+
+// FleetReplay runs the macro and fingerprints its outcome.
+func FleetReplay(spec FleetReplaySpec) FleetReplayResult {
+	h, err := host.NewSharded(spec.Topo, spec.P, spec.Shards)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	nctx := spec.Topo.Contexts()
+	ticks := make([]uint64, nctx)
+	for c := 0; c < nctx; c++ {
+		c := host.CtxID(c)
+		eng := h.EngineFor(c)
+		// Deterministic heterogeneity: periods and phases differ per
+		// context so the shard heaps see realistic time diversity.
+		period := spec.Tick + sim.Time(int(c)%7)*11
+		partner := host.CtxID((int(c) + nctx/2) % nctx)
+		var tick func()
+		tick = func() {
+			ticks[c]++
+			if spec.CrossEvery > 0 && ticks[c]%uint64(spec.CrossEvery) == 0 {
+				h.SendIPI(c, partner, apic.VecIPI)
+			}
+			eng.After(period, tick)
+		}
+		eng.At(period+sim.Time(c)*13, tick)
+	}
+	h.RunUntil(spec.Dur)
+
+	res := FleetReplayResult{
+		Shards:  h.Shards(),
+		Events:  h.Events(),
+		Elapsed: spec.Dur,
+	}
+	for _, n := range ticks {
+		res.Ticks += n
+	}
+	for _, n := range h.IPIsReceived() {
+		res.IPIs += n
+	}
+	d := fnv.New64a()
+	word := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		d.Write(b[:])
+	}
+	for _, n := range ticks {
+		word(n)
+	}
+	for _, n := range h.IPIsReceived() {
+		word(n)
+	}
+	for _, n := range h.EventsByCore() {
+		word(n)
+	}
+	word(res.Events)
+	word(uint64(h.Eng.Now()))
+	res.Digest = d.Sum64()
+	return res
+}
+
+// FleetReplayLine renders a result as one deterministic line.
+func (r FleetReplayResult) FleetReplayLine() string {
+	return fmt.Sprintf("shards=%d events=%d ticks=%d ipis=%d elapsed=%v digest=%016x",
+		r.Shards, r.Events, r.Ticks, r.IPIs, r.Elapsed, r.Digest)
+}

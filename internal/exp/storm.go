@@ -36,16 +36,21 @@ type StormResult struct {
 	GangRetries       uint64
 	GangSkipped       uint64
 	MigrationDowntime sim.Time
+
+	// Events is the replay's engine dispatch count — byte-identical at
+	// any shard count or pool width.
+	Events uint64
 }
 
 // StatsLine renders the result as one deterministic line; two runs with
 // the same parameters must produce byte-identical lines (the contract
-// the storm determinism test pins serial-vs-parallel).
+// the storm determinism tests pin serial-vs-parallel and
+// sharded-vs-single-heap).
 func (r StormResult) StatsLine() string {
 	return fmt.Sprintf("mode=%s k=%d storms=%d seed=%d elapsed=%v p99us=%.3f agg=%.3f slow=%.4f "+
-		"migrations=%d rollbacks=%d retries=%d skipped=%d downtime=%v",
+		"migrations=%d rollbacks=%d retries=%d skipped=%d downtime=%v events=%d",
 		r.Mode, r.K, r.Storms, r.Seed, r.Elapsed, r.WorstP99Us, r.AggThroughput, r.MeanSlowdown,
-		r.GangMigrations, r.GangRollbacks, r.GangRetries, r.GangSkipped, r.MigrationDowntime)
+		r.GangMigrations, r.GangRollbacks, r.GangRetries, r.GangSkipped, r.MigrationDowntime, r.Events)
 }
 
 // BuildStormPlan derives a deterministic storm from a seed: storms
@@ -91,6 +96,7 @@ func (s *Session) MigrationStorm(mode hv.Mode, k, storms int, seed int64) StormR
 		GangRetries:       res.GangRetries,
 		GangSkipped:       res.GangSkipped,
 		MigrationDowntime: res.MigrationDowntime,
+		Events:            res.Events,
 	}
 	var slow float64
 	for _, v := range pt.VMs {

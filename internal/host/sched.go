@@ -230,6 +230,9 @@ type ReplayResult struct {
 	Migrations  uint64
 	ReschedIPIs uint64
 	Quanta      uint64
+	// Events is how many engine events the replay dispatched (summed
+	// across shards on a sharded host) — identical at any shard count.
+	Events uint64
 
 	// Gang-migration tallies, populated by storm replays (zero when no
 	// storm plan fired).
@@ -289,6 +292,7 @@ func (s *Scheduler) ReplayStorm(demands []Demand, plan *StormPlan) ReplayResult 
 	h := s.h
 	t := h.Topo
 	nctx := t.Contexts()
+	startEvents := h.Events()
 	res := ReplayResult{
 		VMs:          make([]VMOutcome, len(demands)),
 		CtxBusy:      make([]sim.Time, nctx),
@@ -525,12 +529,14 @@ func (s *Scheduler) ReplayStorm(demands []Demand, plan *StormPlan) ReplayResult 
 			s.rebalance(residents)
 		}
 
-		// Advance the shared clock to the end of the quantum,
-		// dispatching IPI deliveries and anything else scheduled on it.
-		h.Eng.RunUntil(end)
+		// Advance the clock to the end of the quantum, dispatching IPI
+		// deliveries and anything else scheduled — through the window
+		// protocol on a sharded host, directly otherwise.
+		h.RunUntil(end)
 	}
 
 	res.Elapsed = h.Eng.Now()
+	res.Events = h.Events() - startEvents
 	res.Quanta = quanta
 	res.Migrations = s.migrations
 	res.ReschedIPIs = s.reschedIPIs

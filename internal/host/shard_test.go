@@ -1,0 +1,232 @@
+package host
+
+import (
+	"reflect"
+	"testing"
+
+	"svtsim/internal/fault"
+	"svtsim/internal/sim"
+)
+
+func mustShardedHost(t *testing.T, topo Topology, shards int) *Host {
+	t.Helper()
+	h, err := NewSharded(topo, DefaultParams(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestShardedHostLayout(t *testing.T) {
+	topo := Topology{2, 2, 2}
+	h := mustShardedHost(t, topo, 2)
+	if h.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", h.Shards())
+	}
+	for c := 0; c < topo.Contexts(); c++ {
+		id := CtxID(c)
+		if h.ShardOf(id) != h.ShardOf(topo.Sibling(id)) {
+			t.Errorf("ctx %d and SMT sibling on different shards", c)
+		}
+		if h.ShardOf(id) != topo.SocketOf(id) {
+			t.Errorf("ctx %d on shard %d, want its socket %d (shards == sockets)",
+				c, h.ShardOf(id), topo.SocketOf(id))
+		}
+		if h.EngineFor(id) != h.Sharded().Shard(h.ShardOf(id)) {
+			t.Errorf("ctx %d engine is not its shard's", c)
+		}
+	}
+	// Per-socket split: every boundary is a socket boundary, so the
+	// lookahead is the cross-NUMA cost.
+	if h.Lookahead() != DefaultParams().IPICrossNUMA {
+		t.Errorf("per-socket lookahead %v, want %v", h.Lookahead(), DefaultParams().IPICrossNUMA)
+	}
+	// Split below socket granularity: cross-core hops can cross shards.
+	h4 := mustShardedHost(t, topo, 4)
+	if h4.Lookahead() != DefaultParams().IPICrossCore {
+		t.Errorf("per-core lookahead %v, want %v", h4.Lookahead(), DefaultParams().IPICrossCore)
+	}
+}
+
+func TestShardedHostValidation(t *testing.T) {
+	topo := Topology{2, 2, 2}
+	if _, err := NewSharded(topo, DefaultParams(), topo.Cores()+1); err == nil {
+		t.Error("shards > cores must be rejected")
+	}
+	h, err := NewSharded(topo, DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards() != 1 || h.Sharded() != nil || h.Lookahead() != 0 {
+		t.Errorf("shards=1 should degenerate to a single-engine host, got %d shards", h.Shards())
+	}
+}
+
+// TestShardedIPIDelivery: IPIs crossing a shard boundary arrive at the
+// same virtual time, with the same accounting, as on the single-engine
+// host — including in-window sends from event context.
+func TestShardedIPIDelivery(t *testing.T) {
+	topo := Topology{2, 2, 2}
+	run := func(shards int) ([]uint64, []uint64, [4]uint64) {
+		h := mustShardedHost(t, topo, shards)
+		// Controller-context sends: one per distance class.
+		h.SendIPI(0, 0, 0x20) // self
+		h.SendIPI(0, 1, 0x21) // SMT
+		h.SendIPI(0, 2, 0x22) // cross-core
+		h.SendIPI(0, 4, 0x23) // cross-NUMA (cross-shard at shards=2)
+		// Event-context sends: each context's tick fires a cross-socket
+		// IPI from inside its shard's window.
+		for c := 0; c < topo.Contexts(); c++ {
+			c := CtxID(c)
+			partner := CtxID((int(c) + topo.Contexts()/2) % topo.Contexts())
+			h.EngineFor(c).At(sim.Time(100+10*int(c)), func() {
+				h.SendIPI(c, partner, 0x30)
+			})
+		}
+		h.RunUntil(1 * sim.Millisecond)
+		var sent [4]uint64
+		self, smt, cc, cn := h.IPIsSent()
+		sent = [4]uint64{self, smt, cc, cn}
+		return append([]uint64(nil), h.IPIsReceived()...),
+			append([]uint64(nil), h.EventsByCore()...), sent
+	}
+	recv1, byCore1, sent1 := run(1)
+	for _, shards := range []int{2, 4} {
+		recv, byCore, sent := run(shards)
+		if !reflect.DeepEqual(recv, recv1) {
+			t.Errorf("shards=%d: IPIs received %v, single heap %v", shards, recv, recv1)
+		}
+		if !reflect.DeepEqual(byCore, byCore1) {
+			t.Errorf("shards=%d: events by core %v, single heap %v", shards, byCore, byCore1)
+		}
+		if sent != sent1 {
+			t.Errorf("shards=%d: IPIs sent %v, single heap %v", shards, sent, sent1)
+		}
+	}
+}
+
+// TestCrossShardMigrateGang is the cross-shard migration contract: a
+// gang moving between sockets that live on different engine shards —
+// including a mid-transfer fault that forces a rollback — behaves
+// byte-identically to the same sequence on a single-engine host.
+func TestCrossShardMigrateGang(t *testing.T) {
+	topo := Topology{2, 2, 2}
+	type outcome struct {
+		Clean    MigrationResult
+		Rollback MigrationResult
+		Loads    []int
+		Recv     []uint64
+		Events   uint64
+	}
+	run := func(shards int) outcome {
+		h := mustShardedHost(t, topo, shards)
+		p := DefaultMigrationParams()
+
+		// Clean move: socket 0 sibling pair -> socket 1 sibling pair.
+		// At shards=2 source and destination are on different shards.
+		a := h.Sched.Admit(0, 2)
+		clean := h.Sched.MigrateGang(&a, []CtxID{topo.Ctx(1, 0, 0), topo.Ctx(1, 0, 1)}, 64<<10, 0, p)
+
+		// Mid-transfer fault: every attempt fails, so the move rolls
+		// back — the second VM never leaves socket 0 and only pays
+		// downtime.
+		b := h.Sched.Admit(1, 2)
+		rb := h.Sched.MigrateGang(&b, []CtxID{topo.Ctx(1, 1, 0), topo.Ctx(1, 1, 1)}, 32<<10, p.MaxAttempts, p)
+
+		// Drain the kick IPIs the commit sent, across the shard
+		// boundary when sharded.
+		h.RunUntil(1 * sim.Millisecond)
+		return outcome{
+			Clean:    clean,
+			Rollback: rb,
+			Loads:    append([]int(nil), h.Sched.Loads()...),
+			Recv:     append([]uint64(nil), h.IPIsReceived()...),
+			Events:   h.Events(),
+		}
+	}
+	ref := run(1)
+	if !ref.Clean.Completed {
+		t.Fatalf("clean cross-socket migration failed: %+v", ref.Clean)
+	}
+	if !ref.Rollback.RolledBack || ref.Rollback.Completed {
+		t.Fatalf("forced mid-transfer failure did not roll back: %+v", ref.Rollback)
+	}
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d cross-shard migration diverged from single heap:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestCrossShardMigrateGangFaultPlane: same contract with the seeded
+// fault plane armed (rather than forced failures) — ArmFaults flips the
+// sharded engine into the exact serial merge, so every fault-site
+// consult draws the same RNG stream position as the single-engine run.
+func TestCrossShardMigrateGangFaultPlane(t *testing.T) {
+	topo := Topology{2, 2, 2}
+	type outcome struct {
+		Res   MigrationResult
+		Fires uint64
+		Recv  []uint64
+	}
+	run := func(shards int) outcome {
+		h := mustShardedHost(t, topo, shards)
+		spec := &fault.Spec{Seed: 11, Sites: []fault.SiteConfig{
+			{Site: fault.SiteMigrateTransfer, Rate: 0.5, Drop: true},
+			{Site: fault.SiteIPI, Rate: 0.2, Delay: 300},
+		}}
+		plane := spec.Build(h.Eng)
+		h.ArmFaults(plane)
+		if sh := h.Sharded(); sh != nil && !sh.Exact() {
+			t.Fatal("armed fault plane did not force exact mode")
+		}
+		a := h.Sched.Admit(0, 2)
+		res := h.Sched.MigrateGang(&a, []CtxID{topo.Ctx(1, 0, 0), topo.Ctx(1, 0, 1)}, 16<<10, 0, DefaultMigrationParams())
+		h.RunUntil(1 * sim.Millisecond)
+		return outcome{Res: res, Fires: plane.Fires(), Recv: append([]uint64(nil), h.IPIsReceived()...)}
+	}
+	ref := run(1)
+	if ref.Fires == 0 {
+		t.Fatal("fault plane never consulted")
+	}
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d fault-armed migration diverged:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestShardedReplayStormMatchesSingleHeap: the full contention replay
+// with a migration storm — the workhorse behind every density and storm
+// experiment — produces a byte-identical ReplayResult at any shard
+// count, including a forced rollback mid-storm.
+func TestShardedReplayStormMatchesSingleHeap(t *testing.T) {
+	topo := Topology{2, 2, 2}
+	run := func(shards int) ReplayResult {
+		h := mustShardedHost(t, topo, shards)
+		demands := stormDemands(h, 4)
+		plan := &StormPlan{
+			P: DefaultMigrationParams(),
+			Events: []StormEvent{
+				{Quantum: 2, VM: 0, Fails: 0},
+				{Quantum: 4, VM: 2, Fails: 3}, // forced rollback
+				{Quantum: 6, VM: 1, Fails: 1},
+			},
+		}
+		return h.Sched.ReplayStorm(demands, plan)
+	}
+	ref := run(1)
+	if ref.GangMigrations == 0 || ref.GangRollbacks == 0 {
+		t.Fatalf("storm too quiet to test anything: %+v", ref)
+	}
+	if ref.Events == 0 {
+		t.Fatal("replay dispatched no events")
+	}
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("shards=%d storm replay diverged from single heap:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}

@@ -139,8 +139,8 @@ func TestPastEventClampsToNow(t *testing.T) {
 	e.Advance(100)
 	fired := false
 	ev := e.At(10, func() { fired = true })
-	if ev.At() != 100 {
-		t.Fatalf("past event at %v, want clamped to 100", ev.At())
+	if at, ok := ev.AtOK(); !ok || at != 100 {
+		t.Fatalf("past event at %v (pending=%v), want clamped to 100", at, ok)
 	}
 	e.DispatchDue()
 	if !fired {
@@ -152,8 +152,8 @@ func TestAfterNegativeClamps(t *testing.T) {
 	e := New()
 	e.Advance(7)
 	ev := e.After(-5, func() {})
-	if ev.At() != 7 {
-		t.Fatalf("After(-5) at %v, want 7", ev.At())
+	if at, ok := ev.AtOK(); !ok || at != 7 {
+		t.Fatalf("After(-5) at %v (pending=%v), want 7", at, ok)
 	}
 }
 
@@ -309,6 +309,27 @@ func TestStaleRefAfterFire(t *testing.T) {
 	}
 	if ev.At() != 0 {
 		t.Fatalf("stale ref At = %v, want 0", ev.At())
+	}
+	if at, ok := ev.AtOK(); ok || at != 0 {
+		t.Fatalf("stale ref AtOK = (%v, %v), want (0, false)", at, ok)
+	}
+}
+
+// TestAtOKDisambiguatesTimeZero: a pending event scheduled at time 0 is
+// indistinguishable from a dead ref through At (both report 0); AtOK
+// tells them apart.
+func TestAtOKDisambiguatesTimeZero(t *testing.T) {
+	e := New()
+	ev := e.At(0, func() {})
+	if ev.At() != 0 {
+		t.Fatalf("pending time-0 event At = %v, want the ambiguous 0", ev.At())
+	}
+	if at, ok := ev.AtOK(); !ok || at != 0 {
+		t.Fatalf("pending time-0 event AtOK = (%v, %v), want (0, true)", at, ok)
+	}
+	e.DispatchDue()
+	if at, ok := ev.AtOK(); ok || at != 0 {
+		t.Fatalf("fired time-0 event AtOK = (%v, %v), want (0, false)", at, ok)
 	}
 }
 

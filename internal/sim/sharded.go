@@ -1,0 +1,429 @@
+package sim
+
+// Conservative-lookahead parallel discrete-event execution (PDES).
+//
+// A ShardedEngine owns K ordinary Engines ("shards") that share one
+// atomic sequence counter, so (time, seq) remains a total order over the
+// union of all shard heaps. Shards advance together through bounded
+// windows: with lookahead L — the minimum virtual-time cost of any
+// cross-shard interaction — every event in [next, next+L) can fire
+// without hearing from other shards, because a cross-shard send posted
+// inside the window is delivered at sender-time + d where d >= L, i.e.
+// at or after the window's end. That is the classic LBTS/null-message
+// argument, realized here with a central window barrier instead of
+// per-pair null messages (K is small — one shard per socket or
+// core-group — so a global reduction is cheaper than K² channels).
+//
+// Cross-shard sends made inside a window are buffered in per-shard
+// outboxes and merged at the barrier in (deliver-time, send-time,
+// sender, send-index) order — a deterministic key independent of which
+// OS thread ran which shard — before being scheduled on their target
+// shards. Sends made from controller context (no window open) schedule
+// directly on the target shard.
+//
+// Two execution modes back RunUntil:
+//
+//   - Windowed (the default): shards with due work run concurrently on
+//     short-lived worker goroutines (or inline when the window is
+//     small). Within a shard, dispatch order is the single-heap
+//     (time, seq) order restricted to that shard; across shards, events
+//     only interact through outbox messages, which the merge key orders
+//     deterministically. Cross-shard events carry >= L of latency, so
+//     any pair of same-timestamp events on different shards is
+//     causally independent and commutes.
+//
+//   - Exact serial merge: whenever any shard carries a fault injector
+//     or a dispatch hook — both observe the global dispatch *order*,
+//     not just per-shard state — RunUntil falls back to a K-way merge
+//     that repeatedly fires the globally minimal (time, seq) event.
+//     Because the shards share one sequence counter and the controller
+//     is sequential, this reproduces the single-heap engine's dispatch
+//     sequence exactly, event for event, including the order fault
+//     sites are consulted in.
+//
+// The contract either way: results are byte-identical to a single-heap
+// engine run, at any shard count.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// shardParallelThreshold is the minimum number of pending events across
+// the active shards of a window before the window is farmed out to
+// worker goroutines; smaller windows run inline on the caller, where the
+// outbox/merge discipline alone already reproduces parallel ordering.
+const shardParallelThreshold = 16
+
+// crossMsg is one buffered cross-shard event: fn is to run on shard to
+// at absolute time at; sent (the sender's clock at Post time), the
+// sending shard and the per-outbox index make the merge order a
+// deterministic total order no matter which OS threads ran the window.
+type crossMsg struct {
+	to     int
+	at     Time
+	sent   Time
+	origin int32
+	fn     func()
+}
+
+// mergeMsg is a crossMsg annotated with its provenance for sorting.
+type mergeMsg struct {
+	crossMsg
+	from int
+	idx  int
+}
+
+// ShardedEngine coordinates K sibling Engines under a conservative
+// lookahead window protocol. Construct with NewSharded; a zero value is
+// unusable. The controller (the goroutine calling RunUntil / Post) must
+// be single-threaded, exactly like a plain Engine's caller.
+type ShardedEngine struct {
+	shards    []*Engine
+	lookahead Time
+	seq       atomic.Uint64
+	now       Time
+
+	// exact forces the serial K-way merge even when no injector or
+	// dispatch hook demands it (tracing and tests use this).
+	exact bool
+
+	// inWindow[i] is true while shard i is executing a window; Post
+	// consults it to tell event context (buffer in the outbox) from
+	// controller context (schedule directly).
+	inWindow []bool
+	outbox   [][]crossMsg
+	merge    []mergeMsg // scratch, reused across barriers
+
+	// Window workers live only inside a RunUntil call: started lazily
+	// at the first parallel-worthy window, joined and released before
+	// RunUntil returns, so idle hosts hold no goroutines.
+	work []chan Time
+	wg   sync.WaitGroup
+
+	windows     uint64
+	parallelWin uint64
+	crossSends  uint64
+}
+
+// NewSharded returns a sharded engine with k shards and the given
+// lookahead: the minimum virtual-time delay of any cross-shard Post made
+// from event context. k must be >= 1; lookahead must be positive when
+// k > 1 (a single shard degenerates to the plain engine and needs none).
+func NewSharded(k int, lookahead Time) *ShardedEngine {
+	if k < 1 {
+		panic("sim: NewSharded needs at least one shard")
+	}
+	if k > 1 && lookahead <= 0 {
+		panic("sim: NewSharded needs a positive lookahead for k > 1")
+	}
+	sh := &ShardedEngine{
+		lookahead: lookahead,
+		inWindow:  make([]bool, k),
+		outbox:    make([][]crossMsg, k),
+	}
+	for i := 0; i < k; i++ {
+		e := New()
+		e.seqShared = &sh.seq
+		sh.shards = append(sh.shards, e)
+	}
+	return sh
+}
+
+// Shards reports the shard count.
+func (sh *ShardedEngine) Shards() int { return len(sh.shards) }
+
+// Shard returns shard i's engine. Callers may schedule on it freely
+// from controller context; from event context, a callback may only
+// touch its own shard directly and must use Post for the rest.
+func (sh *ShardedEngine) Shard(i int) *Engine { return sh.shards[i] }
+
+// Lookahead reports the conservative window width.
+func (sh *ShardedEngine) Lookahead() Time { return sh.lookahead }
+
+// Now reports the controller's virtual time: the bound of the last
+// RunUntil. Individual shard clocks are all equal to it between calls.
+func (sh *ShardedEngine) Now() Time { return sh.now }
+
+// Dispatched reports the total events fired across all shards.
+func (sh *ShardedEngine) Dispatched() uint64 {
+	var n uint64
+	for _, s := range sh.shards {
+		n += s.dispatched
+	}
+	return n
+}
+
+// PendingEvents reports the number of queued events across all shards.
+func (sh *ShardedEngine) PendingEvents() int {
+	n := 0
+	for _, s := range sh.shards {
+		n += len(s.queue)
+	}
+	return n
+}
+
+// CrossSends reports how many in-window cross-shard messages have been
+// merged so far.
+func (sh *ShardedEngine) CrossSends() uint64 { return sh.crossSends }
+
+// Windows reports how many conservative windows RunUntil has executed,
+// and how many of those ran shards on worker goroutines rather than
+// inline.
+func (sh *ShardedEngine) Windows() (total, parallel uint64) {
+	return sh.windows, sh.parallelWin
+}
+
+// SetExact forces (or, with false, re-allows leaving) the serial exact-
+// merge mode, which reproduces the single-heap dispatch order event for
+// event. RunUntil enters it regardless whenever a shard carries a fault
+// injector or dispatch hook.
+func (sh *ShardedEngine) SetExact(v bool) { sh.exact = v }
+
+// Exact reports whether the next RunUntil will use the serial exact
+// merge.
+func (sh *ShardedEngine) Exact() bool { return sh.exact || sh.needsExact() }
+
+// Post schedules fn to run on shard to, d after shard from's current
+// time, preserving the sender's origin tag. From controller context it
+// schedules directly; from inside shard from's window it is buffered
+// and merged at the window barrier. In-window cross-shard posts must
+// respect the lookahead (d >= Lookahead) — that bound is what makes the
+// window safe — and violating it panics rather than silently corrupting
+// the simulation order.
+func (sh *ShardedEngine) Post(from, to int, d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	src := sh.shards[from]
+	if sh.inWindow[from] {
+		if to != from {
+			if d < sh.lookahead {
+				panic(fmt.Sprintf("sim: cross-shard Post with delay %d under lookahead %d", d, sh.lookahead))
+			}
+			sh.outbox[from] = append(sh.outbox[from], crossMsg{
+				to:     to,
+				at:     src.now + d,
+				sent:   src.now,
+				origin: src.origin,
+				fn:     fn,
+			})
+			return
+		}
+		src.After(d, fn)
+		return
+	}
+	dst := sh.shards[to]
+	prev := dst.origin
+	dst.origin = src.origin
+	// Stamp with the sender's clock: in exact mode the target's own
+	// clock can lag the global time (it only advances when one of its
+	// events fires), and sched must mean "virtual time of the send"
+	// regardless of which shard's heap the event lands on.
+	dst.atSched(src.now+d, src.now, fn)
+	dst.origin = prev
+}
+
+// RunUntil advances every shard's virtual time to t, dispatching all
+// events on the way in an order byte-identical to a single-heap run.
+func (sh *ShardedEngine) RunUntil(t Time) {
+	if len(sh.shards) == 1 {
+		sh.shards[0].RunUntil(t)
+		sh.now = t
+		return
+	}
+	if sh.exact || sh.needsExact() {
+		sh.runExact(t)
+	} else {
+		sh.runWindows(t)
+	}
+	for _, s := range sh.shards {
+		if s.now < t {
+			// No due events remain; this only advances the clock.
+			s.RunUntil(t)
+		}
+	}
+	sh.now = t
+}
+
+// needsExact reports whether any shard carries state that observes the
+// global dispatch order (fault injectors consult seeded RNG streams per
+// consult, dispatch hooks feed the tracer), which windowed execution
+// would permute.
+func (sh *ShardedEngine) needsExact() bool {
+	for _, s := range sh.shards {
+		if s.faults != nil || s.onDispatch != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// runExact is the serial K-way merge: repeatedly fire the globally
+// minimal (time, seq) event. With the shared sequence counter this is
+// the single-heap dispatch order, exactly.
+func (sh *ShardedEngine) runExact(t Time) {
+	for {
+		best := -1
+		var bestEv *event
+		for i, s := range sh.shards {
+			ev := s.peekMin()
+			if ev == nil || ev.at > t {
+				continue
+			}
+			if best < 0 || eventLess(ev, bestEv) {
+				best, bestEv = i, ev
+			}
+		}
+		if best < 0 {
+			return
+		}
+		// Exact mode is serial, so every shard can share one global
+		// clock: anything consulted during the dispatch (fault planes,
+		// tracers) that reads a sibling engine's Now sees the same time
+		// a single-heap run would have shown it. Safe because bestEv is
+		// the global minimum — no pending event is earlier.
+		for _, s := range sh.shards {
+			if s.now < bestEv.at {
+				s.now = bestEv.at
+			}
+		}
+		sh.shards[best].dispatchMin()
+	}
+}
+
+// runWindows is the conservative parallel loop: find the earliest
+// pending event anywhere, open a window of one lookahead from it, run
+// every shard with due work to the window bound (concurrently when the
+// window is big enough to pay for handoff), then merge the outboxes.
+func (sh *ShardedEngine) runWindows(t Time) {
+	defer sh.stopWorkers()
+	active := make([]int, 0, len(sh.shards))
+	for {
+		next := Time(0)
+		ok := false
+		for _, s := range sh.shards {
+			if len(s.queue) > 0 && (!ok || s.queue[0].at < next) {
+				next, ok = s.queue[0].at, true
+			}
+		}
+		if !ok || next > t {
+			return
+		}
+		bound := next + sh.lookahead - 1
+		if bound > t || bound < next { // bound < next guards overflow
+			bound = t
+		}
+		active = active[:0]
+		due := 0
+		for i, s := range sh.shards {
+			if len(s.queue) > 0 && s.queue[0].at <= bound {
+				active = append(active, i)
+				due += len(s.queue)
+			}
+		}
+		sh.windows++
+		if len(active) >= 2 && due >= shardParallelThreshold {
+			sh.parallelWin++
+			sh.startWorkers()
+			for _, i := range active {
+				sh.inWindow[i] = true
+			}
+			sh.wg.Add(len(active))
+			for _, i := range active {
+				sh.work[i] <- bound
+			}
+			sh.wg.Wait()
+			for _, i := range active {
+				sh.inWindow[i] = false
+			}
+		} else {
+			// Inline windows still go through inWindow and the outbox
+			// so the schedule they produce is identical to the
+			// parallel path's.
+			for _, i := range active {
+				sh.inWindow[i] = true
+				sh.shards[i].RunUntil(bound)
+				sh.inWindow[i] = false
+			}
+		}
+		sh.flushOutboxes()
+	}
+}
+
+// flushOutboxes merges the window's buffered cross-shard sends in
+// (deliver-time, send-time, sender, index) order and schedules them on
+// their target shards. The key never mentions wall-clock anything, so
+// the merged schedule — and every seq the target engines assign — is
+// deterministic.
+func (sh *ShardedEngine) flushOutboxes() {
+	sh.merge = sh.merge[:0]
+	for from := range sh.outbox {
+		for i := range sh.outbox[from] {
+			sh.merge = append(sh.merge, mergeMsg{crossMsg: sh.outbox[from][i], from: from, idx: i})
+		}
+		sh.outbox[from] = sh.outbox[from][:0]
+	}
+	if len(sh.merge) == 0 {
+		return
+	}
+	sort.Slice(sh.merge, func(i, j int) bool {
+		a, b := &sh.merge[i], &sh.merge[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.sent != b.sent {
+			return a.sent < b.sent
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.idx < b.idx
+	})
+	for i := range sh.merge {
+		m := &sh.merge[i]
+		dst := sh.shards[m.to]
+		prev := dst.origin
+		dst.origin = m.origin
+		// The sender's clock is the sched tiebreak: at equal delivery
+		// times the message sorts exactly where the single heap's
+		// schedule-order seq would have put it.
+		dst.atSched(m.at, m.sent, m.fn)
+		dst.origin = prev
+		sh.crossSends++
+		m.fn = nil // don't pin the closure until the next barrier
+	}
+}
+
+// startWorkers spins one goroutine per shard, each running windows sent
+// over its channel. Lazy: the first parallel-worthy window of a RunUntil
+// pays the spawn, serial-ish runs never do.
+func (sh *ShardedEngine) startWorkers() {
+	if sh.work != nil {
+		return
+	}
+	sh.work = make([]chan Time, len(sh.shards))
+	for i := range sh.shards {
+		ch := make(chan Time)
+		sh.work[i] = ch
+		go func(s *Engine, ch chan Time) {
+			for bound := range ch {
+				s.RunUntil(bound)
+				sh.wg.Done()
+			}
+		}(sh.shards[i], ch)
+	}
+}
+
+// stopWorkers joins and releases the window workers, if any started.
+func (sh *ShardedEngine) stopWorkers() {
+	if sh.work == nil {
+		return
+	}
+	for _, ch := range sh.work {
+		close(ch)
+	}
+	sh.work = nil
+}

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fabric abstracts "a simulated fleet of contexts on some engine layout"
+// so the identical workload can run on one plain Engine and on a
+// ShardedEngine at any shard count, and the results compared.
+type fabric struct {
+	at         func(ctx int, t Time, fn func())
+	post       func(from, to int, d Time, fn func())
+	now        func(ctx int) Time
+	run        func(t Time)
+	dispatched func() uint64
+}
+
+func plainFabric() (*Engine, fabric) {
+	e := New()
+	return e, fabric{
+		at:         func(_ int, t Time, fn func()) { e.At(t, fn) },
+		post:       func(_, _ int, d Time, fn func()) { e.After(d, fn) },
+		now:        func(int) Time { return e.Now() },
+		run:        e.RunUntil,
+		dispatched: e.Dispatched,
+	}
+}
+
+func shardedFabric(k, nctx int, lookahead Time) (*ShardedEngine, fabric) {
+	sh := NewSharded(k, lookahead)
+	shardOf := func(ctx int) int { return ctx * k / nctx }
+	return sh, fabric{
+		at:         func(ctx int, t Time, fn func()) { sh.Shard(shardOf(ctx)).At(t, fn) },
+		post:       func(from, to int, d Time, fn func()) { sh.Post(shardOf(from), shardOf(to), d, fn) },
+		now:        func(ctx int) Time { return sh.Shard(shardOf(ctx)).Now() },
+		run:        sh.RunUntil,
+		dispatched: sh.Dispatched,
+	}
+}
+
+const (
+	fabCtxs      = 32
+	fabLookahead = 100
+	fabCrossWire = 150 // cross-context post delay; must be >= fabLookahead
+	fabHorizon   = 10_000
+)
+
+// runFleetWorkload drives every context with a self-rearming tick whose
+// period depends on the context, plus a cross-context message every
+// third tick to the context half the fleet away. It returns one ordered
+// log per context — the per-context view of the simulation, which must
+// be invariant across shard counts — and, when global is non-nil, also
+// appends every log line to *global in dispatch order (only meaningful
+// for serial execution modes).
+func runFleetWorkload(f fabric, global *[]string) [][]string {
+	logs := make([][]string, fabCtxs)
+	counts := make([]int, fabCtxs)
+	note := func(c int, line string) {
+		logs[c] = append(logs[c], line)
+		if global != nil {
+			*global = append(*global, line)
+		}
+	}
+	for c := 0; c < fabCtxs; c++ {
+		c := c
+		period := Time(50 + 13*(c%5))
+		partner := (c + fabCtxs/2) % fabCtxs
+		var tick func()
+		tick = func() {
+			counts[c]++
+			note(c, fmt.Sprintf("tick ctx=%d n=%d t=%d", c, counts[c], f.now(c)))
+			if counts[c]%3 == 0 {
+				from, n := c, counts[c]
+				f.post(c, partner, fabCrossWire, func() {
+					note(partner, fmt.Sprintf("recv ctx=%d from=%d n=%d t=%d", partner, from, n, f.now(partner)))
+				})
+			}
+			f.post(c, c, period, tick)
+		}
+		f.at(c, Time(10+c), tick)
+	}
+	f.run(fabHorizon)
+	return logs
+}
+
+// TestShardedMatchesSingleHeapPerContext is the windowed-mode contract:
+// at any shard count, every context's observable history — tick times,
+// message arrival times and senders — is identical to the single-heap
+// run's.
+func TestShardedMatchesSingleHeapPerContext(t *testing.T) {
+	_, ref := plainFabric()
+	want := runFleetWorkload(ref, nil)
+	wantN := ref.dispatched()
+	for _, k := range []int{1, 2, 4, 8} {
+		sh, f := shardedFabric(k, fabCtxs, fabLookahead)
+		got := runFleetWorkload(f, nil)
+		if !reflect.DeepEqual(got, want) {
+			for c := range want {
+				if !reflect.DeepEqual(got[c], want[c]) {
+					t.Fatalf("k=%d: ctx %d history diverged from single heap:\n got %v\nwant %v", k, c, got[c], want[c])
+				}
+			}
+		}
+		if f.dispatched() != wantN {
+			t.Errorf("k=%d: dispatched %d events, single heap %d", k, f.dispatched(), wantN)
+		}
+		if sh.Now() != fabHorizon {
+			t.Errorf("k=%d: Now = %v, want %v", k, sh.Now(), fabHorizon)
+		}
+		for i := 0; i < k; i++ {
+			if sh.Shard(i).Now() != fabHorizon {
+				t.Errorf("k=%d: shard %d clock %v, want %v", k, i, sh.Shard(i).Now(), fabHorizon)
+			}
+		}
+		if k > 1 && sh.CrossSends() == 0 {
+			t.Errorf("k=%d: no cross-shard sends; workload should cross", k)
+		}
+	}
+}
+
+// TestShardedParallelWindowsExecute pins that the test workload is big
+// enough to take the worker-goroutine path (the -race CI step depends on
+// actually exercising it).
+func TestShardedParallelWindowsExecute(t *testing.T) {
+	sh, f := shardedFabric(4, fabCtxs, fabLookahead)
+	runFleetWorkload(f, nil)
+	total, par := sh.Windows()
+	if total == 0 || par == 0 {
+		t.Fatalf("windows=%d parallel=%d; want both > 0", total, par)
+	}
+}
+
+// TestShardedExactMatchesGlobalOrder: the exact serial merge must
+// reproduce the single-heap dispatch sequence event for event — a
+// stronger property than per-context equality, and the one that makes
+// fault-injected runs shard-transparent.
+func TestShardedExactMatchesGlobalOrder(t *testing.T) {
+	var want []string
+	_, ref := plainFabric()
+	runFleetWorkload(ref, &want)
+	for _, k := range []int{2, 4, 8} {
+		sh, f := shardedFabric(k, fabCtxs, fabLookahead)
+		sh.SetExact(true)
+		var got []string
+		runFleetWorkload(f, &got)
+		if !reflect.DeepEqual(got, want) {
+			n := len(got)
+			if len(want) < n {
+				n = len(want)
+			}
+			for i := 0; i < n; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d exact: dispatch %d = %q, single heap %q", k, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("k=%d exact: %d dispatches, single heap %d", k, len(got), len(want))
+		}
+	}
+}
+
+// countingInjector is the minimal FaultInjector: healthy outcomes, but
+// its presence must flip the sharded engine into exact mode.
+type countingInjector struct{ n int }
+
+func (c *countingInjector) InjectFault(string) FaultOutcome { c.n++; return FaultOutcome{} }
+
+// TestShardedInjectorForcesExact: arming a fault injector on any shard
+// observes global dispatch order, so RunUntil must fall back to the
+// serial merge.
+func TestShardedInjectorForcesExact(t *testing.T) {
+	sh, f := shardedFabric(4, fabCtxs, fabLookahead)
+	if sh.Exact() {
+		t.Fatal("exact before any injector armed")
+	}
+	sh.Shard(2).SetFaults(&countingInjector{})
+	if !sh.Exact() {
+		t.Fatal("injector on shard 2 did not force exact mode")
+	}
+	runFleetWorkload(f, nil)
+	if _, par := sh.Windows(); par != 0 {
+		t.Fatalf("exact-mode run executed %d parallel windows", par)
+	}
+}
+
+// TestShardedPostUnderLookaheadPanics: an in-window cross-shard send
+// below the lookahead would break the conservative window's safety
+// argument; it must fail loudly, not corrupt ordering silently.
+func TestShardedPostUnderLookaheadPanics(t *testing.T) {
+	sh := NewSharded(2, 100)
+	sh.Shard(0).At(10, func() {
+		sh.Post(0, 1, 50, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("under-lookahead cross-shard Post did not panic")
+		}
+	}()
+	sh.RunUntil(1000)
+}
+
+// TestShardedControllerPostIgnoresLookahead: from controller context
+// (no window open) a short cross-shard delay is safe and allowed.
+func TestShardedControllerPostIgnoresLookahead(t *testing.T) {
+	sh := NewSharded(2, 100)
+	fired := Time(-1)
+	sh.Post(0, 1, 5, func() { fired = sh.Shard(1).Now() })
+	sh.RunUntil(1000)
+	if fired != 5 {
+		t.Fatalf("controller post fired at %v, want 5", fired)
+	}
+}
+
+// TestShardedSameShardPostIsLocal: in-window posts within one shard are
+// ordinary local schedules with no lookahead constraint.
+func TestShardedSameShardPostIsLocal(t *testing.T) {
+	sh := NewSharded(2, 100)
+	var at Time
+	sh.Shard(0).At(10, func() {
+		sh.Post(0, 0, 1, func() { at = sh.Shard(0).Now() })
+	})
+	sh.RunUntil(1000)
+	if at != 11 {
+		t.Fatalf("same-shard post fired at %v, want 11", at)
+	}
+}
+
+// TestShardedSingleShardDegenerates: k=1 is a plain engine (no windows,
+// no lookahead requirement).
+func TestShardedSingleShardDegenerates(t *testing.T) {
+	sh := NewSharded(1, 0)
+	var order []int
+	sh.Shard(0).At(5, func() { order = append(order, 1) })
+	sh.Post(0, 0, 3, func() { order = append(order, 0) })
+	sh.RunUntil(100)
+	if !reflect.DeepEqual(order, []int{0, 1}) {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+	if sh.Now() != 100 || sh.Dispatched() != 2 {
+		t.Fatalf("Now=%v Dispatched=%d, want 100/2", sh.Now(), sh.Dispatched())
+	}
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("k=0", func() { NewSharded(0, 100) })
+	mustPanic("k=2 lookahead=0", func() { NewSharded(2, 0) })
+}
+
+// TestShardedRepeatedRunUntil: windows must compose across RunUntil
+// calls (the host replay calls it once per scheduling quantum).
+func TestShardedRepeatedRunUntil(t *testing.T) {
+	_, ref := plainFabric()
+	want := runFleetWorkload(ref, nil)
+
+	sh, f := shardedFabric(4, fabCtxs, fabLookahead)
+	got := runFleetWorkloadQuantized(f, 250)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("quantized sharded run diverged from single-heap run")
+	}
+	if sh.Now() != fabHorizon {
+		t.Fatalf("Now = %v, want %v", sh.Now(), fabHorizon)
+	}
+}
+
+// runFleetWorkloadQuantized is runFleetWorkload with the horizon split
+// into fixed quanta, mimicking the host replay loop.
+func runFleetWorkloadQuantized(f fabric, q Time) [][]string {
+	logs := make([][]string, fabCtxs)
+	counts := make([]int, fabCtxs)
+	note := func(c int, line string) { logs[c] = append(logs[c], line) }
+	for c := 0; c < fabCtxs; c++ {
+		c := c
+		period := Time(50 + 13*(c%5))
+		partner := (c + fabCtxs/2) % fabCtxs
+		var tick func()
+		tick = func() {
+			counts[c]++
+			note(c, fmt.Sprintf("tick ctx=%d n=%d t=%d", c, counts[c], f.now(c)))
+			if counts[c]%3 == 0 {
+				from, n := c, counts[c]
+				f.post(c, partner, fabCrossWire, func() {
+					note(partner, fmt.Sprintf("recv ctx=%d from=%d n=%d t=%d", partner, from, n, f.now(partner)))
+				})
+			}
+			f.post(c, c, period, tick)
+		}
+		f.at(c, Time(10+c), tick)
+	}
+	for end := q; end <= fabHorizon; end += q {
+		f.run(end)
+	}
+	return logs
+}

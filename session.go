@@ -92,6 +92,13 @@ func WithHostParams(p HostParams) Option {
 	return func(s *exp.Session) error { s.SetHostParams(p); return nil }
 }
 
+// WithShards sets the virtual-time engine shard count used by the
+// fleet-scale experiments. n <= 1 runs the single-heap engine. Results
+// are byte-identical at any shard count; only wall-clock time changes.
+func WithShards(n int) Option {
+	return func(s *exp.Session) error { s.SetShards(n); return nil }
+}
+
 // NewSession constructs a session from the calibrated defaults plus the
 // given options.
 func NewSession(opts ...Option) (*Session, error) {
@@ -123,6 +130,12 @@ func (s *Session) SetParallelism(n int) { s.exp.SetParallelism(n) }
 
 // Parallelism reports the session's effective worker-pool width.
 func (s *Session) Parallelism() int { return s.exp.Workers() }
+
+// SetShards sets the engine shard count for fleet-scale experiments.
+func (s *Session) SetShards(n int) { s.exp.SetShards(n) }
+
+// Shards reports the session's effective engine shard count.
+func (s *Session) Shards() int { return s.exp.Shards() }
 
 // SetHostTopology sets the host topology for fleet-scale experiments.
 func (s *Session) SetHostTopology(t HostTopology) error { return s.exp.SetTopology(t) }
