@@ -132,8 +132,22 @@ func main() {
 		migrate   = flag.String("migrate", "", "live-migration points after:fails[,after:fails...] overlaid on the -check-seed schedule, differentially checked, then exit (fails>=3 forces rollback)")
 		storm     = flag.Int("storm", 0, "run a seeded storm of N live gang migrations over -vms packed VMs per mode, then exit")
 		stormSeed = flag.Int64("storm-seed", 42, "storm plan seed for -storm (runs are byte-identical per seed)")
+		submit    = flag.String("submit", "", "run via a svtsimd daemon at this base URL (e.g. http://127.0.0.1:8080) instead of in-process")
 	)
 	flag.Parse()
+
+	if *submit != "" {
+		os.Exit(runRemote(*submit, remoteFlags{
+			mode: *modeStr, workload: *workload, hostStr: *hostStr,
+			n: *n, fps: *fps, vms: *vms, shards: *shards,
+			dur: *dur, rate: *rate, slo: *slo,
+			density: *density, storm: *storm, checkN: *checkN,
+			stormSeed: *stormSeed, checkSeed: *checkSeed,
+			faults: *faults, faultSeed: *faultSeed, faultRate: *faultRate,
+			trace: *trace, metrics: *metrics,
+			replay: *replay, migrate: *migrate,
+		}))
+	}
 
 	if *replay != "" {
 		if err := svtsim.ReplaySchedule(os.Stdout, *replay); err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"sync"
 
 	"svtsim/internal/fault"
@@ -76,6 +77,17 @@ type DensityPoint struct {
 	Events uint64
 }
 
+// StatsLine renders the point as one deterministic line; two runs with
+// the same session configuration must produce byte-identical lines (the
+// contract svtsimd's content-addressed cache is built on).
+func (pt DensityPoint) StatsLine() string {
+	return fmt.Sprintf("mode=%s k=%d p50us=%.3f p99us=%.3f agg=%.3f util=%.4f stolen=%v "+
+		"migrations=%d resched=%d ipis=%d/%d/%d events=%d",
+		pt.Mode, pt.K, pt.WorstP50Us, pt.WorstP99Us, pt.AggThroughput,
+		pt.CoreUtilMean, pt.StolenCycles, pt.Migrations, pt.ReschedIPIs,
+		pt.IPIsSMT, pt.IPIsCore, pt.IPIsNUMA, pt.Events)
+}
+
 // DensityResult is one mode's full packing sweep.
 type DensityResult struct {
 	Mode   hv.Mode
@@ -85,6 +97,12 @@ type DensityResult struct {
 	// MaxDensity is the largest k whose worst per-VM p99 meets the SLO
 	// (0 if even one VM misses it).
 	MaxDensity int
+}
+
+// SummaryLine renders the sweep verdict as one deterministic line.
+func (r DensityResult) SummaryLine() string {
+	return fmt.Sprintf("maxdensity mode=%s topo=%s slo=%.0fus k=%d",
+		r.Mode, r.Topo, r.SLOUs, r.MaxDensity)
 }
 
 // vmRun is one VM's phase-1 (uncontended) measurement, plus the warmed

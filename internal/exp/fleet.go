@@ -11,6 +11,7 @@ package exp
 // measuring events/sec at shards = 1, 2, 4, 8.
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -66,6 +67,16 @@ type FleetReplayResult struct {
 
 // FleetReplay runs the macro and fingerprints its outcome.
 func FleetReplay(spec FleetReplaySpec) FleetReplayResult {
+	r, _ := fleetReplay(context.Background(), spec, nil)
+	return r
+}
+
+// fleetReplay is FleetReplay with the job plumbing: the simulated
+// duration advances in fleetReplayWindows RunUntil windows, checking
+// ctx and emitting progress between them. Windowed RunUntil is exact
+// (events fire at their virtual times regardless of how the advance is
+// chopped), so the digest is independent of the window count.
+func fleetReplay(ctx context.Context, spec FleetReplaySpec, pr ProgressFunc) (FleetReplayResult, error) {
 	h, err := host.NewSharded(spec.Topo, spec.P, spec.Shards)
 	if err != nil {
 		panic("exp: " + err.Error())
@@ -89,7 +100,14 @@ func FleetReplay(spec FleetReplaySpec) FleetReplayResult {
 		}
 		eng.At(period+sim.Time(c)*13, tick)
 	}
-	h.RunUntil(spec.Dur)
+	for w := 1; w <= fleetReplayWindows; w++ {
+		if err := ctx.Err(); err != nil {
+			return FleetReplayResult{}, err
+		}
+		h.RunUntil(spec.Dur * sim.Time(w) / fleetReplayWindows)
+		pr.emit("fleet-replay", w, fleetReplayWindows,
+			fmt.Sprintf("t=%v", spec.Dur*sim.Time(w)/fleetReplayWindows))
+	}
 
 	res := FleetReplayResult{
 		Shards:  h.Shards(),
@@ -122,7 +140,7 @@ func FleetReplay(spec FleetReplaySpec) FleetReplayResult {
 	word(res.Events)
 	word(uint64(h.Eng.Now()))
 	res.Digest = d.Sum64()
-	return res
+	return res, nil
 }
 
 // FleetReplayLine renders a result as one deterministic line.

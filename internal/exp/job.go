@@ -1,0 +1,132 @@
+package exp
+
+// Job-shaped entry points: every long-running experiment, re-expressed
+// for a serving context. Each *Job method takes a context checked
+// between coarse simulation steps (points of a density sweep, cells of
+// a grid, windows of a fleet replay) and an optional ProgressFunc fed
+// after every completed step. Cancellation is cooperative at step
+// granularity — a single nested-VM simulation always runs to completion
+// — and a job that runs uninterrupted returns results byte-identical to
+// its plain counterpart (pinned by TestJobsMatchPlainCalls), which is
+// what lets svtsimd's content-addressed cache treat a job's rendered
+// output as a pure function of its request.
+
+import (
+	"context"
+	"fmt"
+
+	"svtsim/internal/hv"
+	"svtsim/internal/sim"
+)
+
+// ProgressEvent is one completed step of a job: Done of Total steps of
+// Stage are finished, and Detail names the step that just completed.
+type ProgressEvent struct {
+	Stage  string `json:"stage"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ProgressFunc receives progress events. It is called from the job's
+// goroutine, strictly ordered; nil is allowed and reports nothing.
+type ProgressFunc func(ProgressEvent)
+
+func (pr ProgressFunc) emit(stage string, done, total int, detail string) {
+	if pr != nil {
+		pr(ProgressEvent{Stage: stage, Done: done, Total: total, Detail: detail})
+	}
+}
+
+// DensitySweepJob is DensitySweep with cancellation checked and
+// progress reported between packing levels. An uncancelled job returns
+// exactly DensitySweep's results.
+func (s *Session) DensitySweepJob(ctx context.Context, modes []hv.Mode, kmax int, sloUs float64, pr ProgressFunc) ([]DensityResult, error) {
+	topo := s.Topology()
+	if kmax <= 0 {
+		kmax = topo.Contexts()
+	}
+	total := len(modes) * kmax
+	done := 0
+	out := make([]DensityResult, len(modes))
+	for mi, mode := range modes {
+		res := DensityResult{Mode: mode, Topo: topo, SLOUs: sloUs}
+		cache := &vmCache{m: make(map[vmKey]vmRun)}
+		for k := 1; k <= kmax; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pt := s.consolidate(mode, k, cache)
+			res.Points = append(res.Points, pt)
+			if pt.WorstP99Us <= sloUs {
+				res.MaxDensity = k
+			}
+			done++
+			pr.emit("density", done, total, fmt.Sprintf("mode=%s k=%d", mode, k))
+		}
+		out[mi] = res
+	}
+	return out, nil
+}
+
+// StormTableJob is StormTable with cancellation checked and progress
+// reported between modes. Each cell builds its own host and plan, so
+// the serial order here produces the same bytes as the pool fan-out.
+func (s *Session) StormTableJob(ctx context.Context, modes []hv.Mode, k, storms int, seed int64, pr ProgressFunc) ([]StormResult, error) {
+	out := make([]StormResult, len(modes))
+	for i, mode := range modes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = s.MigrationStorm(mode, k, storms, seed)
+		pr.emit("storm", i+1, len(modes), fmt.Sprintf("mode=%s", mode))
+	}
+	return out, nil
+}
+
+// FaultSweepGridJob is FaultSweepGrid with cancellation checked and
+// progress reported between cells.
+func (s *Session) FaultSweepGridJob(ctx context.Context, cells []FaultCell, pr ProgressFunc) ([]FaultSweepResult, error) {
+	out := make([]FaultSweepResult, len(cells))
+	for i, c := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c.Storms > 0 {
+			out[i] = s.FaultStormSweep(c.Mode, c.Spec, c.N, c.Storms, c.StormSeed)
+		} else {
+			out[i] = s.FaultSweep(c.Mode, c.Spec, c.N, nil)
+		}
+		pr.emit("faultgrid", i+1, len(cells), fmt.Sprintf("mode=%s", c.Mode))
+	}
+	return out, nil
+}
+
+// fleetReplayWindows is the progress granularity of a fleet replay: the
+// simulated duration is covered in this many RunUntil windows, with the
+// context checked between them. RunUntil is exact and monotonic
+// (TestShardedRepeatedRunUntil), so windowing never changes the digest.
+const fleetReplayWindows = 16
+
+// FleetReplayJob runs the shard-scaling fleet-replay macro on the
+// session's topology, host params, and shard count, with cancellation
+// and progress between simulated-time windows. dur and tick <= 0 keep
+// the DefaultFleetReplaySpec values; crossEvery < 0 keeps the default
+// (0 disables cross-socket IPIs). An uncancelled job's result is
+// byte-identical to FleetReplay on the same spec.
+func (s *Session) FleetReplayJob(ctx context.Context, dur, tick sim.Time, crossEvery int, pr ProgressFunc) (FleetReplayResult, error) {
+	spec := DefaultFleetReplaySpec()
+	spec.Topo = s.Topology()
+	spec.P = s.HostParams()
+	spec.Shards = s.Shards()
+	if dur > 0 {
+		spec.Dur = dur
+	}
+	if tick > 0 {
+		spec.Tick = tick
+	}
+	if crossEvery >= 0 {
+		spec.CrossEvery = crossEvery
+	}
+	return fleetReplay(ctx, spec, pr)
+}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"svtsim/internal/host"
+)
+
+func jobTestSession(t *testing.T) *Session {
+	t.Helper()
+	s := NewSession()
+	if err := s.SetTopology(host.Topology{Sockets: 1, CoresPerSocket: 2, ThreadsPerCore: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestJobsMatchPlainCalls pins the serving-layer contract: an
+// uncancelled job returns exactly what the plain experiment call
+// returns, so cached (job-rendered) bytes are interchangeable with a
+// fresh run's.
+func TestJobsMatchPlainCalls(t *testing.T) {
+	modes := AllModes()[:2]
+
+	plainD := jobTestSession(t).DensitySweep(modes, 2, 500)
+	jobD, err := jobTestSession(t).DensitySweepJob(context.Background(), modes, 2, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainD, jobD) {
+		t.Error("DensitySweepJob diverged from DensitySweep")
+	}
+
+	plainS := jobTestSession(t).StormTable(modes, 3, 6, 42)
+	jobS, err := jobTestSession(t).StormTableJob(context.Background(), modes, 3, 6, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainS, jobS) {
+		t.Error("StormTableJob diverged from StormTable")
+	}
+}
+
+// TestFleetReplayJobMatchesPlain: the windowed, cancellable replay must
+// produce the same digest as the monolithic one, at 1 shard and at 2.
+func TestFleetReplayJobMatchesPlain(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		spec := DefaultFleetReplaySpec()
+		spec.Topo = host.Topology{Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 2}
+		spec.Dur = spec.Dur / 10
+		spec.Shards = shards
+		plain := FleetReplay(spec)
+
+		s := NewSession()
+		if err := s.SetTopology(spec.Topo); err != nil {
+			t.Fatal(err)
+		}
+		s.SetShards(shards)
+		var events int
+		job, err := s.FleetReplayJob(context.Background(), spec.Dur, spec.Tick, spec.CrossEvery,
+			func(ProgressEvent) { events++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job != plain {
+			t.Errorf("shards=%d: FleetReplayJob = %+v, plain = %+v", shards, job, plain)
+		}
+		if events != fleetReplayWindows {
+			t.Errorf("shards=%d: %d progress events, want %d", shards, events, fleetReplayWindows)
+		}
+	}
+}
+
+// TestJobCancellation: a cancelled context stops the job between steps
+// with the context's error.
+func TestJobCancellation(t *testing.T) {
+	s := jobTestSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Cancel after the first progress event; the job must stop before
+	// finishing all points and report ctx.Err().
+	var seen int
+	_, err := s.DensitySweepJob(ctx, AllModes(), 3, 500, func(ProgressEvent) {
+		seen++
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen != 1 {
+		t.Fatalf("job ran %d steps after cancellation, want 1", seen)
+	}
+
+	already, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := s.StormTableJob(already, AllModes(), 2, 4, 1, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("StormTableJob err = %v, want context.Canceled", err)
+	}
+	if _, err := s.FleetReplayJob(already, 0, 0, -1, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FleetReplayJob err = %v, want context.Canceled", err)
+	}
+	if _, err := s.FaultSweepGridJob(already, []FaultCell{{Mode: AllModes()[0], N: 10}}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FaultSweepGridJob err = %v, want context.Canceled", err)
+	}
+}
+
+// TestProgressEventsOrdered: events carry monotonically increasing Done
+// out of a fixed Total.
+func TestProgressEventsOrdered(t *testing.T) {
+	s := jobTestSession(t)
+	var evs []ProgressEvent
+	_, err := s.DensitySweepJob(context.Background(), AllModes()[:2], 2, 500, func(e ProgressEvent) {
+		evs = append(evs, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("%d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.Done != i+1 || e.Total != 4 || e.Stage != "density" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}

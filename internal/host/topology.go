@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"svtsim/internal/swsvt"
+	"svtsim/internal/uerr"
 )
 
 // Topology describes the hardware shape of a host: how many sockets, how
@@ -28,15 +29,22 @@ type Topology struct {
 // DefaultTopology mirrors the paper's Table 4 testbed.
 var DefaultTopology = Topology{Sockets: 2, CoresPerSocket: 8, ThreadsPerCore: 2}
 
+// topologyHint is the shared "what would have parsed" message.
+const topologyHint = "want sockets x cores x SMT-threads, e.g. 2x8x2, or CxT for one socket, e.g. 8x2"
+
 // ParseTopology parses the "SxCxT" flag syntax ("2x8x2"). A two-field
-// form "CxT" means one socket.
+// form "CxT" means one socket. Failures are structured *uerr.E values —
+// the CLI prints them flat, svtsimd returns the fields as an HTTP 400
+// body — so the message must make sense to whoever typed the flag or
+// request, not just to a developer reading a stack trace.
 func ParseTopology(s string) (Topology, error) {
 	parts := strings.Split(s, "x")
 	var nums []int
 	for _, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return Topology{}, fmt.Errorf("topology %q: %v", s, err)
+			return Topology{}, uerr.New("topology", s,
+				fmt.Sprintf("%q is not a number", strings.TrimSpace(p)), topologyHint)
 		}
 		nums = append(nums, n)
 	}
@@ -47,7 +55,8 @@ func ParseTopology(s string) (Topology, error) {
 	case 3:
 		t = Topology{Sockets: nums[0], CoresPerSocket: nums[1], ThreadsPerCore: nums[2]}
 	default:
-		return Topology{}, fmt.Errorf("topology %q: want SxCxT (e.g. 2x8x2)", s)
+		return Topology{}, uerr.New("topology", s,
+			fmt.Sprintf("%d fields", len(nums)), topologyHint)
 	}
 	if err := t.Validate(); err != nil {
 		return Topology{}, err
@@ -55,16 +64,22 @@ func ParseTopology(s string) (Topology, error) {
 	return t, nil
 }
 
-// Validate rejects degenerate shapes.
+// Validate rejects degenerate shapes with the same structured errors
+// ParseTopology reports, so programmatic Topology values surface
+// user-facing messages too.
 func (t Topology) Validate() error {
 	if t.Sockets < 1 || t.CoresPerSocket < 1 || t.ThreadsPerCore < 1 {
-		return fmt.Errorf("topology %s: all dimensions must be >= 1", t)
+		return uerr.New("topology", t.String(), "all dimensions must be >= 1", topologyHint)
 	}
 	if t.ThreadsPerCore > 2 {
-		return fmt.Errorf("topology %s: at most 2 SMT contexts per core", t)
+		return uerr.New("topology", t.String(),
+			fmt.Sprintf("%d SMT contexts per core", t.ThreadsPerCore),
+			"the model supports at most 2-way SMT (the paper's testbed)")
 	}
 	if t.Contexts() > 4096 {
-		return fmt.Errorf("topology %s: %d contexts exceeds the 4096 cap", t, t.Contexts())
+		return uerr.New("topology", t.String(),
+			fmt.Sprintf("%d hardware contexts exceeds the 4096 cap", t.Contexts()),
+			"shrink sockets, cores, or threads")
 	}
 	return nil
 }

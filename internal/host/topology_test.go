@@ -1,10 +1,12 @@
 package host
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"svtsim/internal/swsvt"
+	"svtsim/internal/uerr"
 )
 
 func TestParseTopology(t *testing.T) {
@@ -30,6 +32,49 @@ func TestParseTopology(t *testing.T) {
 		}
 		if c.ok && got != c.want {
 			t.Errorf("ParseTopology(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParseTopologyMalformed checks every rejection is a structured,
+// user-facing *uerr.E (these now surface as svtsimd HTTP 400 bodies)
+// whose reason names the actual problem, not a strconv internals dump.
+func TestParseTopologyMalformed(t *testing.T) {
+	cases := []struct {
+		in     string
+		reason string // substring the reason must carry
+		hint   string // substring the hint must carry
+	}{
+		{"", "is not a number", "2x8x2"},
+		{"potato", `"potato" is not a number`, "2x8x2"},
+		{"2x8xtwo", `"two" is not a number`, "2x8x2"},
+		{"8", "1 fields", "2x8x2"},
+		{"2x8x2x1", "4 fields", "2x8x2"},
+		{"0x8x2", "must be >= 1", "2x8x2"},
+		{"2x0x2", "must be >= 1", "2x8x2"},
+		{"2x8x-1", "must be >= 1", "2x8x2"},
+		{"2x8x3", "3 SMT contexts per core", "2-way SMT"},
+		{"64x64x2", "8192 hardware contexts exceeds the 4096 cap", "shrink"},
+	}
+	for _, c := range cases {
+		_, err := ParseTopology(c.in)
+		if err == nil {
+			t.Errorf("ParseTopology(%q): expected error", c.in)
+			continue
+		}
+		var ue *uerr.E
+		if !errors.As(err, &ue) {
+			t.Errorf("ParseTopology(%q): error %v is not a *uerr.E", c.in, err)
+			continue
+		}
+		if ue.Field != "topology" {
+			t.Errorf("ParseTopology(%q): field = %q, want topology", c.in, ue.Field)
+		}
+		if !strings.Contains(ue.Reason, c.reason) {
+			t.Errorf("ParseTopology(%q): reason %q does not contain %q", c.in, ue.Reason, c.reason)
+		}
+		if !strings.Contains(ue.Hint, c.hint) {
+			t.Errorf("ParseTopology(%q): hint %q does not contain %q", c.in, ue.Hint, c.hint)
 		}
 	}
 }

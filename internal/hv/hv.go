@@ -2,6 +2,7 @@ package hv
 
 import (
 	"fmt"
+	"strings"
 
 	"svtsim/internal/apic"
 	"svtsim/internal/cost"
@@ -9,6 +10,7 @@ import (
 	"svtsim/internal/isa"
 	"svtsim/internal/obs"
 	"svtsim/internal/sim"
+	"svtsim/internal/uerr"
 	"svtsim/internal/vmcs"
 )
 
@@ -54,10 +56,12 @@ func AllModes() []Mode {
 }
 
 // ParseMode is the inverse of Mode.String, plus the "sw"/"hw" CLI
-// shorthands — the one place mode names are parsed, so flags, reports
-// and check repro files all agree.
+// shorthands — the one place mode names are parsed, so flags, reports,
+// check repro files and svtsimd request bodies all agree. Failures are
+// structured *uerr.E values: the CLI prints them flat, the server
+// returns the fields as an HTTP 400 body.
 func ParseMode(s string) (Mode, error) {
-	switch s {
+	switch strings.TrimSpace(s) {
 	case "baseline":
 		return ModeBaseline, nil
 	case "sw-svt", "sw":
@@ -66,8 +70,12 @@ func ParseMode(s string) (Mode, error) {
 		return ModeHWSVt, nil
 	case "hw-svt-bypass", "bypass":
 		return ModeHWSVtBypass, nil
+	case "":
+		return 0, uerr.New("mode", s, "empty mode name",
+			"valid: baseline, sw-svt, hw-svt, hw-svt-bypass (shorthands: sw, hw, bypass)")
 	default:
-		return 0, fmt.Errorf("unknown mode %q (baseline, sw-svt, hw-svt, hw-svt-bypass)", s)
+		return 0, uerr.New("mode", s, "unknown mode",
+			"valid: baseline, sw-svt, hw-svt, hw-svt-bypass (shorthands: sw, hw, bypass)")
 	}
 }
 

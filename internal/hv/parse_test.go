@@ -1,0 +1,79 @@
+package hv
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"svtsim/internal/uerr"
+)
+
+// TestParseModeValid pins every accepted spelling, including the CLI
+// shorthands and surrounding whitespace.
+func TestParseModeValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+	}{
+		{"baseline", ModeBaseline},
+		{"sw-svt", ModeSWSVt},
+		{"sw", ModeSWSVt},
+		{"hw-svt", ModeHWSVt},
+		{"hw", ModeHWSVt},
+		{"hw-svt-bypass", ModeHWSVtBypass},
+		{"bypass", ModeHWSVtBypass},
+		{"  baseline  ", ModeBaseline},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+// TestParseModeMalformed checks every rejection is a structured,
+// user-facing *uerr.E whose message names the valid modes — these
+// errors now surface verbatim as svtsimd HTTP 400 bodies.
+func TestParseModeMalformed(t *testing.T) {
+	cases := []struct {
+		in     string
+		reason string
+	}{
+		{"", "empty mode name"},
+		{"   ", "empty mode name"},
+		{"fast", "unknown mode"},
+		{"BASELINE", "unknown mode"}, // names are case-sensitive
+		{"sw-svt,hw-svt", "unknown mode"},
+		{"hw-svt-bypas", "unknown mode"},
+	}
+	for _, c := range cases {
+		_, err := ParseMode(c.in)
+		if err == nil {
+			t.Errorf("ParseMode(%q): expected error", c.in)
+			continue
+		}
+		var ue *uerr.E
+		if !errors.As(err, &ue) {
+			t.Errorf("ParseMode(%q): error %v is not a *uerr.E", c.in, err)
+			continue
+		}
+		if ue.Field != "mode" || ue.Input != c.in || ue.Reason != c.reason {
+			t.Errorf("ParseMode(%q) = %+v; want field=mode input=%q reason=%q", c.in, ue, c.in, c.reason)
+		}
+		if !strings.Contains(ue.Hint, "baseline") || !strings.Contains(ue.Hint, "hw-svt-bypass") {
+			t.Errorf("ParseMode(%q): hint %q must list the valid modes", c.in, ue.Hint)
+		}
+	}
+}
+
+// TestParseModeRoundTrip: every canonical mode name parses back to
+// itself (the contract repro files and server requests rely on).
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range AllModes() {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+// Artifact rendering: a captured plane, serialized once into the byte
+// blobs svtsimd stores next to a job's result in the content-addressed
+// cache. Rendering is deterministic (the exporters sort names and fix
+// float formats), so a cache hit serves the identical artifact bytes a
+// cold run would have produced.
+
+import "bytes"
+
+// Artifact names served by the daemon's /artifacts/ endpoint.
+const (
+	ArtifactTrace       = "trace.json"   // Perfetto / chrome://tracing timeline
+	ArtifactMetricsCSV  = "metrics.csv"  // metrics registry, CSV
+	ArtifactMetricsJSON = "metrics.json" // metrics registry, flat JSON
+)
+
+// RenderArtifacts serializes the plane's tracer and registry into named
+// byte blobs. A nil plane renders nothing (an empty map), letting
+// callers treat "observability disarmed" and "no artifacts" uniformly.
+func RenderArtifacts(p *Plane) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	if p == nil {
+		return out, nil
+	}
+	var buf bytes.Buffer
+	if err := p.Tracer.WriteChromeTrace(&buf); err != nil {
+		return nil, err
+	}
+	out[ArtifactTrace] = append([]byte(nil), buf.Bytes()...)
+
+	buf.Reset()
+	if err := p.Metrics.WriteCSV(&buf); err != nil {
+		return nil, err
+	}
+	out[ArtifactMetricsCSV] = append([]byte(nil), buf.Bytes()...)
+
+	buf.Reset()
+	if err := p.Metrics.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	out[ArtifactMetricsJSON] = append([]byte(nil), buf.Bytes()...)
+	return out, nil
+}

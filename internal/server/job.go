@@ -1,0 +1,208 @@
+package server
+
+// Job lifecycle and progress fan-out. A job is created queued, becomes
+// running when a worker picks it up, and terminates done, failed, or
+// canceled. Progress events append to an ordered log; stream
+// subscribers replay the log from any index and are kicked (coalesced,
+// non-blocking) when it grows, so a slow reader can never stall the
+// simulation worker.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"svtsim/internal/exp"
+)
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// ProgressEvent is one streamed NDJSON/SSE record: either a job-step
+// event (Stage/Done/Total from the experiment layer) or a terminal
+// state marker (State set, Stage empty).
+type ProgressEvent struct {
+	Seq    int    `json:"seq"`
+	Stage  string `json:"stage,omitempty"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	State  string `json:"state,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// JobStatus is the /v1/jobs/{id} body.
+type JobStatus struct {
+	ID        string `json:"id"`
+	Digest    string `json:"digest"`
+	Kind      string `json:"kind"`
+	State     string `json:"state"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Progress is the most recent step event (nil before the first).
+	Progress *ProgressEvent `json:"progress,omitempty"`
+	WaitMs   int64          `json:"wait_ms"`
+	RunMs    int64          `json:"run_ms"`
+}
+
+type job struct {
+	id     string
+	digest string
+	req    *Request
+
+	mu        sync.Mutex
+	state     string
+	cached    bool
+	err       string
+	events    []ProgressEvent
+	subs      map[chan struct{}]struct{}
+	result    *cacheEntry
+	cancel    context.CancelFunc
+	queuedAt  time.Time
+	startedAt time.Time
+	doneAt    time.Time
+
+	done chan struct{}
+}
+
+func newJob(id string, req *Request, digest string) *job {
+	return &job{
+		id: id, digest: digest, req: req,
+		state:    StateQueued,
+		subs:     make(map[chan struct{}]struct{}),
+		queuedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+}
+
+// publish appends an event (stamping its sequence number) and kicks
+// every subscriber without blocking.
+func (j *job) publish(ev ProgressEvent) {
+	j.mu.Lock()
+	ev.Seq = len(j.events) + 1
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already kicked; the reader will drain the log
+		}
+	}
+	j.mu.Unlock()
+}
+
+// progressFunc adapts the experiment layer's progress callbacks.
+func (j *job) progressFunc() exp.ProgressFunc {
+	return func(e exp.ProgressEvent) {
+		j.publish(ProgressEvent{Stage: e.Stage, Done: e.Done, Total: e.Total, Detail: e.Detail})
+	}
+}
+
+// setRunning marks the job picked up by a worker.
+func (j *job) setRunning(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.cancel = cancel
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+}
+
+// finish terminates the job: state done with a result, or failed /
+// canceled with an error message. The terminal marker is published as
+// the log's last event so streams end deterministically.
+func (j *job) finish(state string, result *cacheEntry, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.result = result
+	j.err = errMsg
+	j.doneAt = time.Now()
+	j.mu.Unlock()
+	j.publish(ProgressEvent{State: state, Error: errMsg})
+	close(j.done)
+}
+
+// finishCached completes a job instantly from a cache hit: the log gets
+// the single terminal event and done is already closed on return.
+func (j *job) finishCached(e *cacheEntry) {
+	j.mu.Lock()
+	j.cached = true
+	j.startedAt = j.queuedAt
+	j.mu.Unlock()
+	j.finish(StateDone, e, "")
+}
+
+// snapshot returns the job's public status.
+func (j *job) snapshot(coalesced bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Digest: j.digest, Kind: j.req.Kind,
+		State: j.state, Cached: j.cached, Coalesced: coalesced, Error: j.err,
+	}
+	for i := len(j.events) - 1; i >= 0; i-- {
+		if j.events[i].Stage != "" {
+			e := j.events[i]
+			st.Progress = &e
+			break
+		}
+	}
+	switch {
+	case j.state == StateQueued:
+		st.WaitMs = time.Since(j.queuedAt).Milliseconds()
+	case j.state == StateRunning:
+		st.WaitMs = j.startedAt.Sub(j.queuedAt).Milliseconds()
+		st.RunMs = time.Since(j.startedAt).Milliseconds()
+	default:
+		st.WaitMs = j.startedAt.Sub(j.queuedAt).Milliseconds()
+		st.RunMs = j.doneAt.Sub(j.startedAt).Milliseconds()
+	}
+	return st
+}
+
+// subscribe registers a kick channel and returns it with the current
+// log length; unsubscribe removes it.
+func (j *job) subscribe() (kick chan struct{}, unsubscribe func()) {
+	kick = make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[kick] = struct{}{}
+	j.mu.Unlock()
+	return kick, func() {
+		j.mu.Lock()
+		delete(j.subs, kick)
+		j.mu.Unlock()
+	}
+}
+
+// eventsFrom copies the log suffix starting at index from, and reports
+// whether the job has reached a terminal state.
+func (j *job) eventsFrom(from int) (evs []ProgressEvent, terminal bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		evs = append(evs, j.events[from:]...)
+	}
+	return evs, j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// terminalState reports the state and error once done is closed.
+func (j *job) terminalState() (state, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err
+}
+
+// entry returns the completed result entry (nil until done).
+func (j *job) entry() *cacheEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+func (j *job) String() string { return fmt.Sprintf("job %s (%s, %s)", j.id, j.req.Kind, j.state) }

@@ -1,0 +1,529 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Small, fast request shapes used throughout: a 1x2x2 host keeps every
+// simulation to a few milliseconds while still exercising SMT pairing.
+func smallDensity() *Request {
+	return &Request{Kind: KindDensity, Topology: "1x2x2", VMs: 3}
+}
+func smallStorm() *Request {
+	return &Request{Kind: KindStorm, Topology: "1x2x2", VMs: 4, Storms: 3}
+}
+func smallFleet() *Request {
+	return &Request{Kind: KindFleet, Topology: "1x2x2", DurMs: 2, Shards: 2}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.SimWorkers == 0 {
+		cfg.SimWorkers = 1
+	}
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		hs.Close()
+	})
+	return s, NewClient(hs.URL)
+}
+
+// TestCacheHitByteIdentical is the tentpole acceptance check: for the
+// density, storm, and fleet-replay endpoints (the first two across all
+// four paper modes — Canonicalize defaults Modes to the full set),
+// resubmitting an identical request must return a cache hit whose bytes
+// equal the cold run's. TestColdRunsAgreeAcrossServers pins the other
+// half: those bytes are determinism, not just storage.
+func TestCacheHitByteIdentical(t *testing.T) {
+	reqs := map[string]func() *Request{
+		"density": smallDensity,
+		"storm":   smallStorm,
+		"fleet":   smallFleet,
+	}
+	ctx := context.Background()
+	_, c1 := newTestServer(t, Config{Workers: 2})
+	for name, mk := range reqs {
+		cold, err := c1.Submit(ctx, mk())
+		if err != nil {
+			t.Fatalf("%s cold submit: %v", name, err)
+		}
+		if cold.Cached {
+			t.Fatalf("%s: first run claims cached", name)
+		}
+		if err := c1.Stream(ctx, cold.ID, nil); err != nil {
+			t.Fatalf("%s stream: %v", name, err)
+		}
+		coldBytes, err := c1.ResultBytes(ctx, cold.ID)
+		if err != nil {
+			t.Fatalf("%s cold result: %v", name, err)
+		}
+
+		hit, err := c1.Submit(ctx, mk())
+		if err != nil {
+			t.Fatalf("%s resubmit: %v", name, err)
+		}
+		if !hit.Cached {
+			t.Errorf("%s: resubmit was not a cache hit", name)
+		}
+		if hit.Digest != cold.Digest {
+			t.Errorf("%s: digests differ across submissions", name)
+		}
+		hitBytes, err := c1.ResultBytes(ctx, hit.ID)
+		if err != nil {
+			t.Fatalf("%s hit result: %v", name, err)
+		}
+		if !bytes.Equal(coldBytes, hitBytes) {
+			t.Errorf("%s: cache hit not byte-identical to cold run:\n--- cold\n%s\n--- hit\n%s",
+				name, coldBytes, hitBytes)
+		}
+	}
+}
+
+// TestColdRunsAgreeAcrossServers runs the same request on two fresh
+// servers and byte-compares: cache identity rests on run determinism.
+func TestColdRunsAgreeAcrossServers(t *testing.T) {
+	ctx := context.Background()
+	for name, mk := range map[string]func() *Request{
+		"density": smallDensity, "storm": smallStorm, "fleet": smallFleet,
+	} {
+		var runs [][]byte
+		for i := 0; i < 2; i++ {
+			_, c := newTestServer(t, Config{Workers: 1})
+			sub, err := c.Submit(ctx, mk())
+			if err != nil {
+				t.Fatalf("%s submit: %v", name, err)
+			}
+			if err := c.Stream(ctx, sub.ID, nil); err != nil {
+				t.Fatalf("%s stream: %v", name, err)
+			}
+			b, err := c.ResultBytes(ctx, sub.ID)
+			if err != nil {
+				t.Fatalf("%s result: %v", name, err)
+			}
+			runs = append(runs, b)
+		}
+		if !bytes.Equal(runs[0], runs[1]) {
+			t.Errorf("%s: cold runs differ across servers:\n%s\n%s", name, runs[0], runs[1])
+		}
+	}
+}
+
+// TestSingleflightCoalescing: concurrent identical submissions share
+// one job and one simulation.
+func TestSingleflightCoalescing(t *testing.T) {
+	release := make(chan struct{})
+	var execs int32
+	var mu sync.Mutex
+	s, c := newTestServer(t, Config{Workers: 2, Queue: 8})
+	s.runHook = func(ctx context.Context, req *Request) error {
+		mu.Lock()
+		execs++
+		mu.Unlock()
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ctx := context.Background()
+
+	first, err := c.Submit(ctx, smallStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked it up so the twin can't race past.
+	waitState(t, c, first.ID, StateRunning)
+
+	twin, err := c.Submit(ctx, smallStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twin.ID != first.ID {
+		t.Errorf("identical submission got a new job: %s vs %s", twin.ID, first.ID)
+	}
+	if !twin.Coalesced {
+		t.Error("twin submission not marked coalesced")
+	}
+	close(release)
+	if err := c.Stream(ctx, first.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if execs != 1 {
+		t.Errorf("coalesced request simulated %d times, want 1", execs)
+	}
+}
+
+func waitState(t *testing.T, c *Client, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %s", id, want)
+}
+
+// TestQueueFull429: with one worker blocked and a one-slot queue, a
+// third distinct submission must bounce with 429 and Retry-After.
+func TestQueueFull429(t *testing.T) {
+	release := make(chan struct{})
+	s, c := newTestServer(t, Config{Workers: 1, Queue: 1})
+	s.runHook = func(ctx context.Context, req *Request) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	defer close(release)
+	ctx := context.Background()
+
+	r1, err := c.Submit(ctx, smallStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, c, r1.ID, StateRunning) // worker slot taken
+	storm2 := smallStorm()
+	storm2.Seed = 7
+	if _, err := c.Submit(ctx, storm2); err != nil { // queue slot taken
+		t.Fatal(err)
+	}
+
+	storm3 := smallStorm()
+	storm3.Seed = 8
+	b, _ := json.Marshal(storm3)
+	resp, err := http.Post(c.BaseURL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+}
+
+// TestDrainFinishesAcceptedJobs: Shutdown must let every accepted job
+// reach done, and post-drain submissions must bounce with 503.
+func TestDrainFinishesAcceptedJobs(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, Queue: 8})
+	ctx := context.Background()
+
+	var ids []string
+	for seed := int64(1); seed <= 3; seed++ {
+		r := smallStorm()
+		r.Seed = seed
+		sub, err := c.Submit(ctx, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sub.ID)
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Errorf("job %s dropped by drain: state %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	if _, err := c.Submit(ctx, smallDensity()); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Errorf("post-drain submit: want 503, got %v", err)
+	}
+}
+
+// TestJobTimeout: a job that overruns its per-job budget is canceled,
+// and its result endpoint reports the failure.
+func TestJobTimeout(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, JobTimeout: 20 * time.Millisecond})
+	s.runHook = func(ctx context.Context, req *Request) error {
+		<-ctx.Done() // overrun until the budget expires
+		return ctx.Err()
+	}
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, smallStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stream(ctx, sub.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Job(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if _, err := c.ResultBytes(ctx, sub.ID); err == nil {
+		t.Error("result of a canceled job must error")
+	}
+	// The canceled result must not have been cached.
+	if got := s.Cache().Stats().Entries; got != 0 {
+		t.Errorf("canceled job cached: %d entries", got)
+	}
+}
+
+// TestBadRequests: malformed submissions get structured 400 bodies the
+// client surfaces with field/reason/hint intact.
+func TestBadRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		req  *Request
+		want []string
+	}{
+		{"bad mode", &Request{Kind: KindStorm, Modes: []string{"vmx"}},
+			[]string{"mode", "unknown mode", "baseline, sw-svt"}},
+		{"bad topology", &Request{Kind: KindStorm, Topology: "axb"},
+			[]string{"topology", "not a number", "sockets x cores"}},
+		{"bad kind", &Request{Kind: "frobnicate"},
+			[]string{"kind", "unknown request kind"}},
+	} {
+		_, err := c.Submit(ctx, tc.req)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, want)
+			}
+		}
+	}
+
+	// Unknown JSON fields are rejected, not silently dropped (they would
+	// otherwise canonicalize into a surprising digest).
+	resp, err := http.Post(c.BaseURL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"storm","smt":"on"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamAndStatus: the progress stream is ordered, ends with the
+// terminal event, and SSE framing works.
+func TestStreamAndStatus(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, smallStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []ProgressEvent
+	if err := c.Stream(ctx, sub.ID, func(e ProgressEvent) { evs = append(evs, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events streamed")
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.State != StateDone {
+		t.Errorf("last event state = %q, want done", last.State)
+	}
+
+	// A late subscriber replays the full log (stream after completion).
+	var replay []ProgressEvent
+	if err := c.Stream(ctx, sub.ID, func(e ProgressEvent) { replay = append(replay, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(evs) {
+		t.Errorf("replayed %d events, want %d", len(replay), len(evs))
+	}
+
+	// SSE framing on request.
+	req, _ := http.NewRequest(http.MethodGet, c.BaseURL+"/v1/jobs/"+sub.ID+"/stream", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("SSE content type = %q", ct)
+	}
+	var sse bytes.Buffer
+	sse.ReadFrom(resp.Body)
+	if !strings.Contains(sse.String(), "data: {") {
+		t.Errorf("SSE body not framed:\n%s", sse.String())
+	}
+}
+
+// TestTraceArtifacts: trace=true jobs expose Perfetto + metrics
+// artifacts, byte-identical between cold run and cache hit.
+func TestTraceArtifacts(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	mk := func() *Request {
+		return &Request{Kind: KindWorkload, Workload: "cpuid", N: 50,
+			Modes: []string{"hw"}, Trace: true}
+	}
+	sub, err := c.Submit(ctx, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stream(ctx, sub.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := c.Artifact(ctx, sub.ID, "trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), "traceEvents") {
+		t.Errorf("trace artifact malformed: %.120s", trace)
+	}
+	csv, err := c.Artifact(ctx, sub.ID, "metrics.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csv) == 0 {
+		t.Error("empty metrics.csv artifact")
+	}
+
+	hit, err := c.Submit(ctx, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("trace resubmit missed the cache")
+	}
+	trace2, err := c.Artifact(ctx, hit.ID, "trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trace, trace2) {
+		t.Error("cached trace artifact not byte-identical")
+	}
+
+	// Artifacts 404 with a hint when the job wasn't traced.
+	plain, err := c.Submit(ctx, smallStorm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stream(ctx, plain.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Artifact(ctx, plain.ID, "trace.json"); err == nil ||
+		!strings.Contains(err.Error(), "trace=true") {
+		t.Errorf("untraced artifact fetch: want 404 with hint, got %v", err)
+	}
+}
+
+// TestConcurrentDistinctRequests floods the server with distinct
+// requests; all must finish done with correct per-request digests.
+// Meaningful under -race (CI runs this package with the detector on).
+func TestConcurrentDistinctRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 4, Queue: 64})
+	ctx := context.Background()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := smallStorm()
+			r.Seed = int64(100 + i)
+			res, err := c.Run(ctx, r, nil)
+			if err != nil {
+				errs <- fmt.Errorf("seed %d: %w", 100+i, err)
+				return
+			}
+			if res.Kind != KindStorm || len(res.Lines) == 0 {
+				errs <- fmt.Errorf("seed %d: bad result %+v", 100+i, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAllKindsServe smoke-runs every request kind end to end through
+// the HTTP layer.
+func TestAllKindsServe(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	for name, req := range map[string]*Request{
+		"density":   smallDensity(),
+		"storm":     smallStorm(),
+		"fleet":     smallFleet(),
+		"check":     {Kind: KindCheck, Schedules: 2},
+		"faultgrid": {Kind: KindFaultGrid, Topology: "1x2x2", FaultRate: 0.05, N: 10, Modes: []string{"hw"}},
+		"workload":  {Kind: KindWorkload, Workload: "netrr", N: 50, Topology: "1x2x2", Modes: []string{"sw", "hw"}},
+	} {
+		res, err := c.Run(ctx, req, nil)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(res.Lines) == 0 {
+			t.Errorf("%s: empty result", name)
+		}
+	}
+
+	// Metrics and cache stats respond after traffic.
+	cs, err := c.CacheStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Entries == 0 {
+		t.Error("cache empty after six distinct jobs")
+	}
+	resp, err := http.Get(c.BaseURL + "/v1/metrics?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	b.ReadFrom(resp.Body)
+	if !strings.Contains(b.String(), "http.submit.requests") {
+		t.Errorf("metrics missing endpoint counters:\n%s", b.String())
+	}
+}

@@ -1,0 +1,41 @@
+// Package uerr defines the structured, user-facing error type shared by
+// the input parsers (mode names, host topologies, fault specs). A parse
+// failure is not an internal fault — it is a message to whoever typed
+// the input — so it carries enough structure for every surface to render
+// it well: the CLI prints the flat Error() string, while svtsimd
+// marshals the fields into an HTTP 400 JSON body the client can show
+// verbatim.
+package uerr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// E is one rejected user input. Field names what was being parsed
+// ("mode", "topology"), Input is the offending text exactly as given,
+// Reason says what is wrong with it, and Hint (optional) says what
+// would have been accepted.
+type E struct {
+	Field  string `json:"field"`
+	Input  string `json:"input"`
+	Reason string `json:"reason"`
+	Hint   string `json:"hint,omitempty"`
+}
+
+// New builds a structured parse error.
+func New(field, input, reason, hint string) *E {
+	return &E{Field: field, Input: input, Reason: reason, Hint: hint}
+}
+
+// Error renders the one-line user-facing message:
+//
+//	mode "fast": unknown mode (valid: baseline, sw-svt, hw-svt, hw-svt-bypass)
+func (e *E) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %q: %s", e.Field, e.Input, e.Reason)
+	if e.Hint != "" {
+		fmt.Fprintf(&b, " (%s)", e.Hint)
+	}
+	return b.String()
+}

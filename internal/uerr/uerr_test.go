@@ -1,0 +1,62 @@
+package uerr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	e := New("mode", "fast", "unknown mode", "valid: baseline, sw-svt")
+	want := `mode "fast": unknown mode (valid: baseline, sw-svt)`
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+	noHint := New("topology", "2x", "want SxCxT", "")
+	if got := noHint.Error(); got != `topology "2x": want SxCxT` {
+		t.Fatalf("Error() without hint = %q", got)
+	}
+}
+
+func TestErrorsAsThroughWrapping(t *testing.T) {
+	e := New("topology", "0x8x2", "all dimensions must be >= 1", "")
+	wrapped := fmt.Errorf("session: %w", e)
+	var got *E
+	if !errors.As(wrapped, &got) {
+		t.Fatal("errors.As failed to recover *uerr.E through wrapping")
+	}
+	if got.Field != "topology" || got.Input != "0x8x2" {
+		t.Fatalf("recovered wrong error: %+v", got)
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	b, err := json.Marshal(New("mode", "x", "unknown mode", "see -help"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"field", "input", "reason", "hint"} {
+		if m[k] == "" {
+			t.Fatalf("JSON missing %q: %s", k, b)
+		}
+	}
+	// Hint is omitted when empty, keeping 400 bodies minimal.
+	b, _ = json.Marshal(New("mode", "x", "unknown mode", ""))
+	if _, ok := mustMap(t, b)["hint"]; ok {
+		t.Fatalf("empty hint must be omitted: %s", b)
+	}
+}
+
+func mustMap(t *testing.T, b []byte) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
