@@ -48,6 +48,16 @@
 //
 //	svtsim -migrate 2:0,5:3 -check-seed 7
 //	svtsim -storm 24 -vms 8 -host 2x8x2 -storm-seed 42
+//
+// Load balancing: -lb sprays an open-loop arrival trace from an
+// L0-side balancer across N nested VMs per mode over reliable
+// netstack flows and reports goodput, p50/p99/p999 tail latency, and
+// SLO-violation windows. Scenarios: steady, overload, burst, storm
+// (concurrent gang migrations), faults (seeded segment loss), or all.
+// Byte-identical at any -parallel width and -shards count.
+//
+//	svtsim -lb 4 -lb-scenario overload -host 1x4x2
+//	svtsim -lb 8 -lb-scenario all -shards 2
 package main
 
 import (
@@ -85,6 +95,16 @@ func buildFaultSpec(arg string, rate float64, seed int64) (*svtsim.FaultSpec, er
 		)
 	}
 	return spec, nil
+}
+
+// lbScenarioKnown reports whether name is one of the -lb scenarios.
+func lbScenarioKnown(name string) bool {
+	for _, s := range svtsim.LBScenarios() {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // parseMigratePoints parses the -migrate syntax "after:fails[,...]".
@@ -132,9 +152,19 @@ func main() {
 		migrate   = flag.String("migrate", "", "live-migration points after:fails[,after:fails...] overlaid on the -check-seed schedule, differentially checked, then exit (fails>=3 forces rollback)")
 		storm     = flag.Int("storm", 0, "run a seeded storm of N live gang migrations over -vms packed VMs per mode, then exit")
 		stormSeed = flag.Int64("storm-seed", 42, "storm plan seed for -storm (runs are byte-identical per seed)")
+		lb        = flag.Int("lb", 0, "run the load-balancer scenario with N nested backend VMs per mode, then exit")
+		lbScen    = flag.String("lb-scenario", "steady", "lb scenario: "+strings.Join(svtsim.LBScenarios(), ", ")+", or all")
+		lbSeed    = flag.Int64("lb-seed", 42, "lb arrival/storm/loss seed (runs are byte-identical per seed)")
+		lbSLO     = flag.Float64("lb-slo", 1000, "per-request latency SLO in microseconds judged by -lb")
 		submit    = flag.String("submit", "", "run via a svtsimd daemon at this base URL (e.g. http://127.0.0.1:8080) instead of in-process")
 	)
 	flag.Parse()
+
+	if *lbScen != "all" && !lbScenarioKnown(*lbScen) {
+		fmt.Fprintf(os.Stderr, "-lb-scenario %q: want all or one of %s\n",
+			*lbScen, strings.Join(svtsim.LBScenarios(), ", "))
+		os.Exit(2)
+	}
 
 	if *submit != "" {
 		os.Exit(runRemote(*submit, remoteFlags{
@@ -143,6 +173,7 @@ func main() {
 			dur: *dur, rate: *rate, slo: *slo,
 			density: *density, storm: *storm, checkN: *checkN,
 			stormSeed: *stormSeed, checkSeed: *checkSeed,
+			lb: *lb, lbScen: *lbScen, lbSeed: *lbSeed, lbSLO: *lbSLO,
 			faults: *faults, faultSeed: *faultSeed, faultRate: *faultRate,
 			trace: *trace, metrics: *metrics,
 			replay: *replay, migrate: *migrate,
@@ -211,6 +242,24 @@ func main() {
 		fmt.Printf("migration storm: %d VMs, %d events, seed %d, host %s\n", k, *storm, *stormSeed, topo)
 		for _, r := range sess.StormTable(svtsim.AllModes(), k, *storm, *stormSeed) {
 			fmt.Println(r.StatsLine())
+		}
+		return
+	}
+
+	if *lb > 0 {
+		fmt.Printf("load balancer: %d VMs, scenario %s, seed %d, slo %.0f us, host %s\n",
+			*lb, *lbScen, *lbSeed, *lbSLO, topo)
+		var rows []svtsim.LBResult
+		if *lbScen == "all" {
+			rows = sess.LoadBalancerSweep(svtsim.AllModes(), *lb, *lbSeed, *lbSLO)
+		} else {
+			rows = sess.LoadBalancerTable(svtsim.AllModes(), *lb, *lbScen, *lbSeed, *lbSLO)
+		}
+		for _, r := range rows {
+			fmt.Println(r.StatsLine())
+		}
+		if wantObs {
+			writeObs(sess, *trace, *metrics, *summary)
 		}
 		return
 	}

@@ -25,6 +25,10 @@ type remoteFlags struct {
 	density                 bool
 	storm, checkN           int
 	stormSeed, checkSeed    int64
+	lb                      int
+	lbScen                  string
+	lbSeed                  int64
+	lbSLO                   float64
 	faults                  string
 	faultSeed               int64
 	faultRate               float64
@@ -55,6 +59,15 @@ func remoteRequest(f remoteFlags) (*server.Request, error) {
 		req.VMs = f.vms
 		req.Storms = f.storm
 		req.Seed = f.stormSeed
+	case f.lb > 0:
+		if f.lbScen == "all" {
+			return nil, fmt.Errorf("-lb-scenario all sweeps locally; submit one scenario per request")
+		}
+		req.Kind = server.KindLB
+		req.VMs = f.lb
+		req.Scenario = f.lbScen
+		req.Seed = f.lbSeed
+		req.SLOUs = f.lbSLO
 	case f.checkN > 0:
 		req.Kind = server.KindCheck
 		req.Schedules = f.checkN

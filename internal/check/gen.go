@@ -19,6 +19,7 @@ var genMix = []opWeight{
 	{OpCompute, 10},
 	{OpTimer, 10},
 	{OpNetPing, 10},
+	{OpNetRR, 5},
 	{OpBlkRead, 8},
 	{OpBlkWrite, 7},
 	{OpIPI, 5},

@@ -12,6 +12,7 @@ import (
 	"svtsim/internal/isa"
 	"svtsim/internal/machine"
 	"svtsim/internal/netsim"
+	"svtsim/internal/netstack"
 	"svtsim/internal/sim"
 	"svtsim/internal/snapshot"
 	"svtsim/internal/virtio"
@@ -131,6 +132,12 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 			Eng: m.Eng, Back: io.LinkIn, Dst: io.NIC,
 			ServiceTime: 5 * sim.Microsecond,
 		}
+	}
+	if s.usesKind(OpNetRR) {
+		// Splice a peer-side netstack behind the NIC: segments demux to
+		// it, everything else keeps riding the raw echo peer, so netping
+		// frames and netrr flows share one conduit in the same run.
+		wireNetRRPeer(m, io)
 	}
 	if opts != nil && opts.Mutate != nil {
 		opts.Mutate(mode, m)
@@ -258,6 +265,81 @@ type interp struct {
 	netRecv  uint64
 	invs     []string
 	finished bool
+
+	// OpNetRR's guest-side reliable flow, opened lazily on first use so
+	// schedules without the op pay nothing.
+	nstk  *netstack.Stack
+	nflow *netstack.Flow
+	nrrRx uint64 // echoed application bytes received so far
+}
+
+// netrrRTO is the retransmit timer for both netstack endpoints in a
+// differential run. Segments cannot be lost here (the schedule fault
+// plane never arms net/segment), so the timer — like the delayed-ACK
+// timer derived from it — exists only as protocol state and must never
+// fire: the guest-side stack may transmit solely from guest execution
+// context, and a watchdog-stretched run under wakeup-drop faults can
+// reach tens of virtual milliseconds. Ten virtual seconds is beyond any
+// schedule's horizon.
+const netrrRTO = 10 * sim.Second
+
+// netrrPeer sits behind the NIC as its link endpoint and demuxes:
+// netstack segments feed the peer-side stack, raw frames keep the
+// existing echo-peer behavior.
+type netrrPeer struct {
+	echo netsim.Endpoint
+	recv func(pkt []byte)
+}
+
+func (p *netrrPeer) Receive(pkt []byte) {
+	if netstack.IsSegment(pkt) {
+		if p.recv != nil {
+			p.recv(pkt)
+		}
+		return
+	}
+	p.echo.Receive(pkt)
+}
+
+// netrrThink is the peer's per-segment service delay. It dominates any
+// mode's nested interrupt-delivery latency, so the guest always retires
+// its TX completion before the reply lands: the interrupt pattern — and
+// with it the IRQ/exit multisets the oracle compares — is identical in
+// every mode instead of depending on whether a slow mode's IRQ path
+// lets the reply coalesce into the completion's service loop.
+const netrrThink = 100 * sim.Microsecond
+
+// netrrConduit is the peer stack's wire: transmit rides the inbound
+// link toward the NIC, receive is fed by the demux above.
+type netrrConduit struct {
+	eng  *sim.Engine
+	back *netsim.Link
+	dst  netsim.Endpoint
+	recv func(pkt []byte)
+}
+
+func (c *netrrConduit) Send(pkt []byte, done func()) {
+	data := append([]byte(nil), pkt...)
+	c.eng.After(netrrThink, func() { c.back.Send(data, c.dst) })
+	if done != nil {
+		c.eng.After(0, done)
+	}
+}
+
+func (c *netrrConduit) SetReceiver(fn func(pkt []byte)) { c.recv = fn }
+
+// wireNetRRPeer splices the segment demux in front of the echo peer
+// and stands up the L0-side server stack: every passively opened flow
+// echoes its payload bytes straight back.
+func wireNetRRPeer(m *machine.Machine, io *machine.IOStack) {
+	cd := &netrrConduit{eng: m.Eng, back: io.LinkIn, dst: io.NIC}
+	peer := &netrrPeer{echo: io.NIC.Peer}
+	io.NIC.Peer = peer
+	st := netstack.New(m.Eng, cd, netstack.Params{RTO: netrrRTO, AckDelay: netrrRTO / 2})
+	st.OnFlow = func(f *netstack.Flow) {
+		f.OnData = func(b []byte) { f.Write(b) }
+	}
+	peer.recv = cd.recv
 }
 
 func (it *interp) add(x uint64) { it.dig = fnvWord(it.dig, x) }
@@ -448,6 +530,33 @@ func (it *interp) exec(env *guest.Env, op Op) {
 	case OpSMPWake:
 		workload.SMPWake(env)
 		it.add(1)
+
+	case OpNetRR:
+		if it.nstk == nil {
+			it.nstk = netstack.New(it.m.Eng, env.Net.AsTransport(),
+				netstack.Params{RTO: netrrRTO, AckDelay: netrrRTO / 2})
+			it.nflow = it.nstk.Open(1)
+			it.nflow.OnData = func(b []byte) {
+				// The echoed bytes are the guest-visible quantity the
+				// oracle compares: every mode must deliver the exact
+				// stream (the raw segments also hash in through the
+				// OnReceive tap, pinning the wire format too).
+				it.nrrRx += uint64(len(b))
+				it.addBytes(b)
+			}
+		}
+		n := 1 + int(op.A%4)
+		size := 1 + int(op.B%128)
+		for j := 0; j < n; j++ {
+			req := make([]byte, size)
+			for i := range req {
+				req[i] = byte(op.B + uint64(j)*31 + uint64(i)*11)
+			}
+			want := it.nrrRx + uint64(size)
+			it.nflow.Write(req)
+			env.WaitFor(func() bool { return it.nrrRx >= want })
+		}
+		it.add(it.nrrRx)
 	}
 }
 

@@ -52,6 +52,14 @@ const (
 	// OpSMPWake performs the §5.3 ICR-write wake sequence (only legal
 	// with 2 vCPUs; decoded schedules with vcpus=1 reject it).
 	OpSMPWake
+	// OpNetRR runs request/response transactions over a reliable
+	// netstack flow riding the same virtio NIC as OpNetPing's raw
+	// frames: 1+A%4 requests of 1+B%128 bytes each to an L0-side peer
+	// stack that echoes the payload. The echoed application byte
+	// stream feeds the digest, so all four modes must deliver the
+	// nested guest byte-identical flow contents — the transport-level
+	// transparency claim on top of the frame-level one.
+	OpNetRR
 	numOpKinds
 )
 
@@ -66,6 +74,7 @@ var opNames = [numOpKinds]string{
 	OpBlkWrite:  "blkwrite",
 	OpIPI:       "ipi",
 	OpSMPWake:   "smpwake",
+	OpNetRR:     "netrr",
 }
 
 func (k OpKind) String() string {
@@ -127,7 +136,7 @@ type MigratePoint struct {
 }
 
 // UsesNet reports whether any op needs the virtio-net device wired.
-func (s *Schedule) UsesNet() bool { return s.usesKind(OpNetPing) }
+func (s *Schedule) UsesNet() bool { return s.usesKind(OpNetPing) || s.usesKind(OpNetRR) }
 
 // UsesBlk reports whether any op needs the virtio-blk device wired.
 func (s *Schedule) UsesBlk() bool { return s.usesKind(OpBlkRead) || s.usesKind(OpBlkWrite) }

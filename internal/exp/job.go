@@ -84,6 +84,22 @@ func (s *Session) StormTableJob(ctx context.Context, modes []hv.Mode, k, storms 
 	return out, nil
 }
 
+// LoadBalancerTableJob is LoadBalancerTable with cancellation checked
+// and progress reported between modes. Each cell owns its engines and
+// seeded streams, so the serial order here produces the same bytes as
+// the pool fan-out.
+func (s *Session) LoadBalancerTableJob(ctx context.Context, modes []hv.Mode, k int, scenario string, seed int64, sloUs float64, pr ProgressFunc) ([]LBResult, error) {
+	out := make([]LBResult, len(modes))
+	for i, mode := range modes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = s.LoadBalancer(mode, k, scenario, seed, sloUs)
+		pr.emit("lb", i+1, len(modes), fmt.Sprintf("mode=%s scen=%s", mode, scenario))
+	}
+	return out, nil
+}
+
 // FaultSweepGridJob is FaultSweepGrid with cancellation checked and
 // progress reported between cells.
 func (s *Session) FaultSweepGridJob(ctx context.Context, cells []FaultCell, pr ProgressFunc) ([]FaultSweepResult, error) {

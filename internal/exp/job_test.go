@@ -42,6 +42,15 @@ func TestJobsMatchPlainCalls(t *testing.T) {
 	if !reflect.DeepEqual(plainS, jobS) {
 		t.Error("StormTableJob diverged from StormTable")
 	}
+
+	plainL := jobTestSession(t).LoadBalancerTable(modes, 2, "steady", 42, 1000)
+	jobL, err := jobTestSession(t).LoadBalancerTableJob(context.Background(), modes, 2, "steady", 42, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plainL, jobL) {
+		t.Error("LoadBalancerTableJob diverged from LoadBalancerTable")
+	}
 }
 
 // TestFleetReplayJobMatchesPlain: the windowed, cancellable replay must
@@ -104,6 +113,9 @@ func TestJobCancellation(t *testing.T) {
 	}
 	if _, err := s.FaultSweepGridJob(already, []FaultCell{{Mode: AllModes()[0], N: 10}}, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("FaultSweepGridJob err = %v, want context.Canceled", err)
+	}
+	if _, err := s.LoadBalancerTableJob(already, AllModes(), 2, "steady", 1, 1000, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LoadBalancerTableJob err = %v, want context.Canceled", err)
 	}
 }
 

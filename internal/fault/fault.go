@@ -53,6 +53,12 @@ const (
 	// dropped restore forces a retry and, past the attempt budget, the
 	// atomic rollback to the source placement.
 	SiteMigrateRestore = "migrate/restore"
+	// SiteNetSegment guards netstack segment transmission: a Drop loses
+	// the segment on the wire (the sender's retransmission timer
+	// recovers it), a Delay defers its delivery. Per-flow streams fall
+	// out of the plane's per-site seeding plus the deterministic consult
+	// order of the flows sharing the site.
+	SiteNetSegment = "net/segment"
 )
 
 // Sites lists every known site, sorted.
@@ -61,6 +67,7 @@ func Sites() []string {
 		SiteSVtWakeup, SiteRingPush, SiteRingPop,
 		SiteIRQ, SiteIPI, SiteVirtioComplete, SiteBlkComplete,
 		SiteMigrateCapture, SiteMigrateTransfer, SiteMigrateRestore,
+		SiteNetSegment,
 	}
 	sort.Strings(s)
 	return s

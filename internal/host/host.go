@@ -304,6 +304,30 @@ func (h *Host) SendIPI(from, to CtxID, vec int) {
 	}
 }
 
+// Deliver runs fn on the target context's engine after the
+// interconnect crossing plus extra — the host's cross-core packet
+// fabric. It is SendIPI without the LAPIC hop: netstack conduits
+// between a balancer context and backend contexts ride it, so segment
+// delivery is priced by topology distance and, on a sharded host,
+// stays legal across shard windows (every shard-crossing pair already
+// costs at least the lookahead; extra only adds to it). The delivery
+// event is attributed to the target's core.
+func (h *Host) Deliver(from, to CtxID, extra sim.Time, fn func()) {
+	if extra < 0 {
+		extra = 0
+	}
+	lat := h.IPILatency(from, to) + extra
+	src := h.engs[from]
+	prev := src.Origin()
+	src.SetOrigin(h.Topo.CoreOf(to))
+	if h.shards != nil {
+		h.shards.Post(h.shardOf[from], h.shardOf[to], lat, fn)
+	} else {
+		src.After(lat, fn)
+	}
+	src.SetOrigin(prev)
+}
+
 // IPIsSent reports how many IPIs were sent at each distance class.
 func (h *Host) IPIsSent() (self, smt, crossCore, crossNUMA uint64) {
 	var sum [4]uint64

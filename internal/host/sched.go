@@ -241,6 +241,19 @@ type ReplayResult struct {
 	GangRetries       uint64
 	GangSkipped       uint64
 	MigrationDowntime sim.Time
+
+	// StormLog records each storm event that reached a migration
+	// attempt, in fire order — downstream consumers (the load-balancer
+	// scenario) replay the pause windows against open-loop traffic.
+	StormLog []StormRecord
+}
+
+// StormRecord is one fired storm event.
+type StormRecord struct {
+	VM        int
+	At        sim.Time // host virtual time the attempt started
+	Downtime  sim.Time // pause window length (failed attempts included)
+	Completed bool     // false = rolled back to the source placement
 }
 
 // StormEvent asks the storm replay to live-migrate one VM's gang at the
@@ -415,6 +428,9 @@ func (s *Scheduler) ReplayStorm(demands []Demand, plan *StormPlan) ReplayResult 
 					}
 				}
 				pausedUntil[ev.VM] = now + mres.Downtime
+				res.StormLog = append(res.StormLog, StormRecord{
+					VM: ev.VM, At: now, Downtime: mres.Downtime, Completed: mres.Completed,
+				})
 			}
 		}
 

@@ -104,6 +104,37 @@ func TestEchoPeerEchoesContent(t *testing.T) {
 	}
 }
 
+// TestEchoPeerSerializesBatchedSegments is the two-segment golden: a
+// batched ring kick delivers two requests at the same instant, and the
+// single-threaded peer must charge ServiceTime per segment, not once per
+// kick. The first response leaves service at t+ServiceTime, the second
+// queues behind it and leaves at t+2*ServiceTime.
+func TestEchoPeerSerializesBatchedSegments(t *testing.T) {
+	eng := sim.New()
+	back := NewLink(eng, sim.Microsecond, 10e9)
+	dst := &sink{eng: eng}
+	p := &EchoPeer{Eng: eng, Back: back, Dst: dst, ServiceTime: 3 * sim.Microsecond, RespSize: 1}
+	// Both segments arrive on the same kick, at t=0.
+	p.Receive([]byte("a"))
+	p.Receive([]byte("b"))
+	eng.Drain(100)
+	if len(dst.pkts) != 2 {
+		t.Fatalf("delivered %d responses, want 2", len(dst.pkts))
+	}
+	// Response i leaves service at (i+1)*ServiceTime and crosses the
+	// 1 µs link (1-byte wire time is sub-ns at 10 Gb/s and truncates to
+	// zero).
+	if want := 4 * sim.Microsecond; dst.times[0] != want {
+		t.Fatalf("first response at %v, want %v", dst.times[0], want)
+	}
+	if want := 7 * sim.Microsecond; dst.times[1] != want {
+		t.Fatalf("second response at %v, want %v (service serialized per segment)", dst.times[1], want)
+	}
+	if p.Requests != 2 {
+		t.Fatalf("requests = %d", p.Requests)
+	}
+}
+
 func TestAckPeerGranularity(t *testing.T) {
 	eng := sim.New()
 	back := NewLink(eng, 0, 10e9)

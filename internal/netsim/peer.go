@@ -18,11 +18,19 @@ type EchoPeer struct {
 	RespSize    int
 
 	Requests uint64
+	// busyUntil serializes the peer's single service thread: a batch of
+	// requests arriving on one ring kick is charged ServiceTime each, not
+	// ServiceTime once for the whole batch.
+	busyUntil sim.Time
 }
 
 // Receive implements Endpoint. With RespSize <= 0 the peer echoes the
 // request bytes back verbatim (useful for end-to-end integrity checks);
-// otherwise it responds with RespSize zero bytes.
+// otherwise it responds with RespSize zero bytes. Requests queue behind
+// the peer's single service thread: each occupies it for ServiceTime, so
+// two segments delivered at the same instant (a batched kick) finish at
+// t+ServiceTime and t+2*ServiceTime, as a real single-threaded endpoint
+// would.
 func (p *EchoPeer) Receive(pkt []byte) {
 	p.Requests++
 	var resp []byte
@@ -31,7 +39,13 @@ func (p *EchoPeer) Receive(pkt []byte) {
 	} else {
 		resp = make([]byte, p.RespSize)
 	}
-	p.Eng.After(p.ServiceTime, func() { p.Back.Send(resp, p.Dst) })
+	start := p.Eng.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	p.busyUntil = start + p.ServiceTime
+	done := p.busyUntil
+	p.Eng.At(done, func() { p.Back.Send(resp, p.Dst) })
 }
 
 // AckPeer models the remote end of a netperf TCP_STREAM: it acknowledges

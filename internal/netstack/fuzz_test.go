@@ -1,0 +1,80 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+
+	"svtsim/internal/sim"
+)
+
+// FuzzSegmentReorder throws arbitrary delivery orders — duplicates,
+// gaps, stale retransmits, raw garbage — at a receiving stack and
+// checks the in-order contract: whatever arrives, the application sees
+// a clean prefix of the original byte stream, rcvNxt never runs ahead
+// of the bytes actually delivered, and nothing panics.
+func FuzzSegmentReorder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})             // in order
+	f.Add([]byte{5, 4, 3, 2, 1, 0})             // reversed
+	f.Add([]byte{1, 1, 1, 0, 0, 2, 5, 3, 4})    // heavy duplication
+	f.Add([]byte{3, 3, 0xFF, 0x80, 2, 0, 1})    // gaps + wild indexes
+	f.Add([]byte("not even close to segments")) // shape abuse
+	f.Fuzz(func(t *testing.T, order []byte) {
+		eng := sim.New()
+		ca, _ := NewPipe(eng, 0)
+		st := New(eng, ca, Params{MSS: 16, Window: 1 << 16})
+		st.FaultSite = "" // the fuzzer is the chaos source here
+		var got []byte
+		st.OnFlow = func(fl *Flow) {
+			fl.OnData = func(p []byte) { got = append(got, p...) }
+		}
+
+		// A reference stream, pre-cut into MSS-sized segments.
+		msg := make([]byte, 96)
+		for i := range msg {
+			msg[i] = byte(i*13 + 7)
+		}
+		const chunk = 16
+		var segs [][]byte
+		for off := 0; off < len(msg); off += chunk {
+			segs = append(segs, Segment{
+				Flags: flagDATA, FlowID: 9, Seq: uint32(off),
+				Payload: msg[off : off+chunk],
+			}.Encode())
+		}
+
+		st.Deliver(Segment{Flags: flagSYN, FlowID: 9}.Encode())
+		eng.Drain(1000)
+		// Deliver in fuzz-chosen order (indexes past the segment count
+		// become raw-garbage injections of the order bytes themselves).
+		for i, b := range order {
+			if int(b) < len(segs) {
+				st.Deliver(segs[b])
+			} else if !IsSegment(order[i:]) {
+				// Raw garbage only: a fuzz input that happens to spell a
+				// valid segment would be adversarial injection, not a
+				// reordering, and is out of scope for this invariant.
+				st.Deliver(order[i:])
+			}
+			eng.Drain(1000)
+			if !bytes.HasPrefix(msg, got) {
+				t.Fatalf("delivered bytes are not a prefix of the stream: %d delivered", len(got))
+			}
+		}
+		// Close the gaps: after an in-order sweep the full stream must
+		// be out, exactly once.
+		for _, s := range segs {
+			st.Deliver(s)
+			eng.Drain(1000)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("stream incomplete after in-order sweep: %d/%d bytes", len(got), len(msg))
+		}
+		fl := st.Flow(9)
+		if fl.RecvSeq() != uint32(len(msg)) {
+			t.Fatalf("rcvNxt=%d, want %d", fl.RecvSeq(), len(msg))
+		}
+		if fl.oooBytes != 0 || len(fl.ooo) != 0 {
+			t.Fatalf("reorder buffer leaked: %d bytes in %d segments", fl.oooBytes, len(fl.ooo))
+		}
+	})
+}

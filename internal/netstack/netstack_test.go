@@ -1,0 +1,302 @@
+package netstack
+
+import (
+	"bytes"
+	"testing"
+
+	"svtsim/internal/fault"
+	"svtsim/internal/sim"
+)
+
+func TestSegmentEncodeDecode(t *testing.T) {
+	in := Segment{
+		Flags: flagDATA | flagACK, FlowID: 7, Seq: 4096, Ack: 512, Wnd: 8192,
+		Payload: []byte("hello, netstack"),
+	}
+	raw := in.Encode()
+	if !IsSegment(raw) {
+		t.Fatal("encoded segment does not carry the magic")
+	}
+	out, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Flags != in.Flags || out.FlowID != in.FlowID || out.Seq != in.Seq ||
+		out.Ack != in.Ack || out.Wnd != in.Wnd || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v != %+v", out, in)
+	}
+	if _, err := Decode(raw[:HeaderSize-1]); err == nil {
+		t.Fatal("truncated header must not decode")
+	}
+	raw[21] = 0xFF // header claims more payload than present
+	if _, err := Decode(raw); err == nil {
+		t.Fatal("truncated payload must not decode")
+	}
+}
+
+// pair builds two stacks over a pipe and completes the handshake.
+func pair(t *testing.T, eng *sim.Engine, lat sim.Time, p Params) (*Stack, *Stack, *Flow) {
+	t.Helper()
+	ca, cb := NewPipe(eng, lat)
+	a := New(eng, ca, p)
+	b := New(eng, cb, p)
+	fa := a.Open(1)
+	eng.Drain(100)
+	if !fa.Established() || b.Flow(1) == nil || !b.Flow(1).Established() {
+		t.Fatal("handshake did not complete")
+	}
+	return a, b, fa
+}
+
+// TestSegmentOrdering covers in-order delivery over paths that reorder
+// segments in flight: whatever arrival order the conduit produces, the
+// application sees the byte stream in sequence.
+func TestSegmentOrdering(t *testing.T) {
+	msg := make([]byte, 3000)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	cases := []struct {
+		name string
+		// delay prices packet i on the sender's conduit end.
+		delay func(i uint64) sim.Time
+	}{
+		{"in-order path", func(i uint64) sim.Time { return sim.Microsecond }},
+		{"first data segment straggles", func(i uint64) sim.Time {
+			if i == 1 { // 0 is the SYN
+				return 50 * sim.Microsecond
+			}
+			return sim.Microsecond
+		}},
+		{"fully reversed", func(i uint64) sim.Time {
+			return sim.Time(100-i*10) * sim.Microsecond
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.New()
+			_, b, fa := pair(t, eng, sim.Microsecond, Params{MSS: 1024})
+			var got []byte
+			b.Flow(1).OnData = func(p []byte) { got = append(got, p...) }
+			fa.S.c.(*PipeEnd).Delay = func(i uint64, pkt []byte) sim.Time { return tc.delay(i) }
+			fa.Write(msg)
+			eng.Drain(10000)
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("stream corrupted: got %d bytes, want %d (reordering must be invisible)", len(got), len(msg))
+			}
+		})
+	}
+}
+
+func TestReorderedSegmentsAreBuffered(t *testing.T) {
+	eng := sim.New()
+	a, b, fa := pair(t, eng, sim.Microsecond, Params{MSS: 512})
+	var got []byte
+	b.Flow(1).OnData = func(p []byte) { got = append(got, p...) }
+	// Delay only the first DATA segment so its successors arrive early.
+	a.c.(*PipeEnd).Delay = func(i uint64, pkt []byte) sim.Time {
+		if i == 1 {
+			return 40 * sim.Microsecond
+		}
+		return sim.Microsecond
+	}
+	fa.Write(make([]byte, 2048)) // 4 segments
+	eng.Drain(10000)
+	if len(got) != 2048 {
+		t.Fatalf("delivered %d bytes, want 2048", len(got))
+	}
+	if b.OutOfOrder == 0 {
+		t.Fatal("path reordered segments but the receiver buffered none out of order")
+	}
+	if a.Retransmits != 0 {
+		t.Fatalf("reordering alone must not trigger retransmits, got %d", a.Retransmits)
+	}
+}
+
+// TestRetransmitAfterDrop drops exactly one DATA segment on the wire via
+// the fault plane; the sender's RTO must recover it and the stream must
+// arrive intact.
+func TestRetransmitAfterDrop(t *testing.T) {
+	eng := sim.New()
+	pl := fault.NewPlane(eng, 42)
+	// Consults at the net/segment site: 1=SYN, 2=SYN|ACK, 3=first DATA.
+	pl.Add(fault.SiteConfig{Site: fault.SiteNetSegment, Every: 1, After: 2, Limit: 1, Drop: true})
+	_, b, fa := pair(t, eng, sim.Microsecond, Params{MSS: 512, RTO: 200 * sim.Microsecond})
+	var got []byte
+	b.Flow(1).OnData = func(p []byte) { got = append(got, p...) }
+	msg := make([]byte, 1024)
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	fa.Write(msg)
+	eng.Drain(10000)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("stream corrupted after drop: %d bytes, want %d", len(got), len(msg))
+	}
+	if fa.S.Dropped != 1 {
+		t.Fatalf("fault plane dropped %d segments, want 1", fa.S.Dropped)
+	}
+	if fa.S.Retransmits == 0 {
+		t.Fatal("drop recovered without a retransmit?")
+	}
+	// The drop is also visible at the receiver as out-of-order arrival
+	// (segment 2 landed before the retransmitted segment 1).
+	if b.OutOfOrder == 0 {
+		t.Fatal("expected successor segments buffered past the gap")
+	}
+}
+
+func TestRetransmitRecoversDroppedSYN(t *testing.T) {
+	eng := sim.New()
+	pl := fault.NewPlane(eng, 1)
+	pl.Add(fault.SiteConfig{Site: fault.SiteNetSegment, Every: 1, Limit: 1, Drop: true})
+	_, b, fa := pair(t, eng, sim.Microsecond, Params{RTO: 100 * sim.Microsecond})
+	var got []byte
+	b.Flow(1).OnData = func(p []byte) { got = append(got, p...) }
+	fa.Write([]byte("after syn loss"))
+	eng.Drain(10000)
+	if string(got) != "after syn loss" {
+		t.Fatalf("got %q", got)
+	}
+	if fa.S.Retransmits == 0 {
+		t.Fatal("SYN drop must be recovered by the handshake timer")
+	}
+}
+
+// TestWindowStallResume pins flow control: a manual-consume receiver
+// with a small window stalls the sender exactly at the window edge, and
+// each Consume's window update re-opens it.
+func TestWindowStallResume(t *testing.T) {
+	eng := sim.New()
+	_, b, fa := pair(t, eng, sim.Microsecond, Params{MSS: 100, Window: 200, RTO: sim.Millisecond})
+	fb := b.Flow(1)
+	fb.Manual = true
+	msg := make([]byte, 500)
+	for i := range msg {
+		msg[i] = byte(i * 3)
+	}
+	fa.Write(msg)
+	eng.RunUntil(500 * sim.Microsecond) // well short of the RTO probe
+	if n := fb.BytesReadable(); n != 200 {
+		t.Fatalf("receiver buffered %d bytes, want the full 200-byte window", n)
+	}
+	if q := fa.BytesQueued(); q != 300 {
+		t.Fatalf("sender queue %d, want 300 stalled behind the closed window", q)
+	}
+	var got []byte
+	got = append(got, fb.Consume(200)...)
+	eng.RunUntil(900 * sim.Microsecond)
+	if n := fb.BytesReadable(); n != 200 {
+		t.Fatalf("after consume, receiver buffered %d, want next 200-byte window", n)
+	}
+	got = append(got, fb.Consume(200)...)
+	eng.RunUntil(999 * sim.Microsecond)
+	got = append(got, fb.Consume(200)...)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("stall/resume corrupted the stream: %d bytes, want %d", len(got), len(msg))
+	}
+	if fa.BytesQueued() != 0 {
+		t.Fatalf("sender still holds %d bytes", fa.BytesQueued())
+	}
+	if fa.S.Retransmits != 0 {
+		t.Fatalf("window stall must not look like loss: %d retransmits", fa.S.Retransmits)
+	}
+}
+
+// TestZeroWindowProbeRecoversLostWindowUpdate drops the receiver's
+// window-update ACK; the sender's probe must unstick the flow.
+func TestZeroWindowProbeRecoversLostWindowUpdate(t *testing.T) {
+	eng := sim.New()
+	pl := fault.NewPlane(eng, 9)
+	_, b, fa := pair(t, eng, sim.Microsecond, Params{MSS: 100, Window: 100, RTO: 100 * sim.Microsecond})
+	fb := b.Flow(1)
+	fb.Manual = true
+	fa.Write(make([]byte, 300))
+	eng.RunUntil(50 * sim.Microsecond)
+	if fb.BytesReadable() != 100 {
+		t.Fatalf("readable %d, want 100", fb.BytesReadable())
+	}
+	// Drop exactly the next segment: the window-update ACK from Consume.
+	pl.Add(fault.SiteConfig{Site: fault.SiteNetSegment, Every: 1, Limit: 1, Drop: true})
+	fb.Consume(100)
+	eng.Drain(100000)
+	total := 100
+	for {
+		p := fb.Consume(1 << 20)
+		if len(p) == 0 {
+			break
+		}
+		total += len(p)
+		eng.Drain(100000)
+	}
+	if total != 300 {
+		t.Fatalf("delivered %d bytes, want 300 (probe must recover the lost window update)", total)
+	}
+	if fa.S.Retransmits == 0 {
+		t.Fatal("expected at least one zero-window probe")
+	}
+}
+
+func TestFlowCloseDeliversFIN(t *testing.T) {
+	eng := sim.New()
+	_, b, fa := pair(t, eng, sim.Microsecond, Params{})
+	closed := false
+	b.Flow(1).OnClose = func() { closed = true }
+	fa.Write([]byte("bye"))
+	fa.Close()
+	eng.Drain(1000)
+	if !closed || !b.Flow(1).Closed() {
+		t.Fatal("FIN not delivered in order")
+	}
+	fa.Write([]byte("zombie"))
+	eng.Drain(1000)
+	if b.DataBytes != 3 {
+		t.Fatalf("write-after-close leaked data: %d bytes", b.DataBytes)
+	}
+}
+
+func TestNonSegmentPacketsIgnored(t *testing.T) {
+	eng := sim.New()
+	ca, _ := NewPipe(eng, 0)
+	st := New(eng, ca, Params{})
+	st.Deliver([]byte("raw packet, no magic"))
+	st.Deliver([]byte{magic0}) // too short for the magic check
+	if st.SegsRecv != 0 || st.Malformed != 0 {
+		t.Fatal("non-segment packets must be invisible to the stack")
+	}
+	// Magic present but header lies about the payload length.
+	bad := Segment{Flags: flagDATA, FlowID: 1, Payload: []byte("xx")}.Encode()
+	st.Deliver(bad[:len(bad)-1])
+	if st.Malformed != 1 {
+		t.Fatal("truncated segment must count as malformed")
+	}
+}
+
+// TestStackDeterminism replays the same lossy, reordering transfer twice
+// and requires identical counters — the transport is a pure function of
+// the seed.
+func TestStackDeterminism(t *testing.T) {
+	run := func() (Stats, Stats, []byte) {
+		eng := sim.New()
+		pl := fault.NewPlane(eng, 77)
+		pl.Add(fault.SiteConfig{Site: fault.SiteNetSegment, Rate: 0.2, Drop: true})
+		a, b, fa := pair(t, eng, 2*sim.Microsecond, Params{MSS: 256, RTO: 150 * sim.Microsecond})
+		var got []byte
+		b.Flow(1).OnData = func(p []byte) { got = append(got, p...) }
+		msg := make([]byte, 4096)
+		for i := range msg {
+			msg[i] = byte(i ^ (i >> 3))
+		}
+		fa.Write(msg)
+		eng.Drain(1 << 20)
+		if !bytes.Equal(got, msg) {
+			t.Fatal("lossy transfer did not converge")
+		}
+		return a.Stats, b.Stats, got
+	}
+	a1, b1, g1 := run()
+	a2, b2, g2 := run()
+	if a1 != a2 || b1 != b2 || !bytes.Equal(g1, g2) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a1, a2)
+	}
+}

@@ -1,0 +1,54 @@
+package netstack
+
+import "svtsim/internal/sim"
+
+// PipeEnd is one side of an in-engine packet pipe: a minimal Conduit
+// with a fixed one-way latency, used by unit tests and by host-side
+// stacks that do not sit on a virtio NIC. Delay, when set, prices each
+// packet individually (index is the send ordinal on this end), which is
+// how tests build deterministic reordering paths.
+type PipeEnd struct {
+	Eng *sim.Engine
+	Lat sim.Time
+	// Delay overrides Lat per packet when non-nil.
+	Delay func(index uint64, pkt []byte) sim.Time
+
+	peer *PipeEnd
+	recv func(pkt []byte)
+	sent uint64
+
+	Packets uint64
+	Bytes   uint64
+}
+
+// NewPipe builds a connected conduit pair with the given one-way latency.
+func NewPipe(eng *sim.Engine, lat sim.Time) (*PipeEnd, *PipeEnd) {
+	a := &PipeEnd{Eng: eng, Lat: lat}
+	b := &PipeEnd{Eng: eng, Lat: lat}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conduit.
+func (p *PipeEnd) Send(pkt []byte, done func()) {
+	d := p.Lat
+	if p.Delay != nil {
+		d = p.Delay(p.sent, pkt)
+	}
+	p.sent++
+	p.Packets++
+	p.Bytes += uint64(len(pkt))
+	cp := append([]byte(nil), pkt...)
+	peer := p.peer
+	p.Eng.After(d, func() {
+		if peer.recv != nil {
+			peer.recv(cp)
+		}
+	})
+	if done != nil {
+		p.Eng.After(0, done)
+	}
+}
+
+// SetReceiver implements Conduit.
+func (p *PipeEnd) SetReceiver(fn func(pkt []byte)) { p.recv = fn }

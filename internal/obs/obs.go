@@ -68,6 +68,10 @@ const (
 	// label distinguishes "migrate", "migrate-rollback" and
 	// "migrate-skip".
 	KindMigrate
+	// KindNetFlow is one load-balanced request's in-flight window on
+	// the balancer's track: the span covers send-to-completion,
+	// Arg1 = backend VM, Arg2 = round-trip latency in nanoseconds.
+	KindNetFlow
 
 	NumKinds
 )
@@ -89,6 +93,7 @@ var kindNames = [NumKinds]string{
 	KindVirtioComplete: "virtio-complete",
 	KindFault:          "fault",
 	KindMigrate:        "migrate",
+	KindNetFlow:        "net-flow",
 }
 
 func (k Kind) String() string {
@@ -102,7 +107,7 @@ func (k Kind) String() string {
 // as Chrome "X" complete events; the rest are "i" instants).
 func (k Kind) IsSpan() bool {
 	switch k {
-	case KindVMExit, KindNestedExit, KindReflect, KindWake, KindBlkIO, KindMigrate:
+	case KindVMExit, KindNestedExit, KindReflect, KindWake, KindBlkIO, KindMigrate, KindNetFlow:
 		return true
 	}
 	return false

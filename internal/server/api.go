@@ -1,9 +1,9 @@
 // Package server is svtsim's serving layer: a long-running HTTP/JSON
 // daemon (cmd/svtsimd) that wraps the experiment Session and serves
 // concurrent simulation requests — density sweeps, migration storms,
-// fleet replays, differential checks, fault grids, and the paper's
-// single-machine figure workloads — behind a bounded job queue and a
-// content-addressed result cache.
+// load-balancer scenarios, fleet replays, differential checks, fault
+// grids, and the paper's single-machine figure workloads — behind a
+// bounded job queue and a content-addressed result cache.
 //
 // Determinism is the load-bearing wall: every experiment is a pure
 // function of its canonical request, so a request's SHA-256 digest
@@ -18,7 +18,9 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strings"
 
+	"svtsim/internal/exp"
 	"svtsim/internal/fault"
 	"svtsim/internal/host"
 	"svtsim/internal/hv"
@@ -33,12 +35,23 @@ const (
 	KindCheck     = "check"     // differential cross-mode check (internal/check)
 	KindFaultGrid = "faultgrid" // fault-injection sweep grid (exp.FaultSweepGrid)
 	KindWorkload  = "workload"  // one single-machine figure workload per mode
+	KindLB        = "lb"        // load-balancer scenario table (exp.LoadBalancerTable)
 )
 
 // Workload names accepted by KindWorkload (the svtsim CLI set).
 var workloadNames = map[string]bool{
 	"cpuid": true, "netrr": true, "stream": true, "diskrd": true,
 	"diskwr": true, "memcached": true, "tpcc": true, "video": true,
+}
+
+// lbScenarioKnown reports whether name is a valid KindLB scenario.
+func lbScenarioKnown(name string) bool {
+	for _, s := range exp.LBScenarios() {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Request is one experiment submission. The JSON shape doubles as the
@@ -53,10 +66,11 @@ type Request struct {
 	Shards   int      `json:"shards,omitempty"`
 	Seed     int64    `json:"seed,omitempty"`
 
-	// Density / storm knobs.
-	VMs    int     `json:"vms,omitempty"`
-	SLOUs  float64 `json:"slo_us,omitempty"`
-	Storms int     `json:"storms,omitempty"`
+	// Density / storm / lb knobs.
+	VMs      int     `json:"vms,omitempty"`
+	SLOUs    float64 `json:"slo_us,omitempty"`
+	Storms   int     `json:"storms,omitempty"`
+	Scenario string  `json:"scenario,omitempty"`
 
 	// Fleet-replay knobs.
 	DurMs      int `json:"dur_ms,omitempty"`
@@ -136,7 +150,7 @@ func (r *Request) Canonicalize() error {
 			r.SLOUs = 500
 		}
 		r.Seed, r.Storms, r.DurMs, r.CrossEvery = 0, 0, 0, 0
-		r.Workload, r.N, r.Rate, r.FPS, r.Schedules = "", 0, 0, 0, 0
+		r.Workload, r.N, r.Rate, r.FPS, r.Schedules, r.Scenario = "", 0, 0, 0, 0, ""
 	case KindStorm:
 		if r.VMs <= 0 {
 			r.VMs = 8
@@ -148,7 +162,7 @@ func (r *Request) Canonicalize() error {
 			r.Seed = 42
 		}
 		r.SLOUs, r.DurMs, r.CrossEvery = 0, 0, 0
-		r.Workload, r.N, r.Rate, r.FPS, r.Schedules = "", 0, 0, 0, 0
+		r.Workload, r.N, r.Rate, r.FPS, r.Schedules, r.Scenario = "", 0, 0, 0, 0, ""
 	case KindFleet:
 		if r.DurMs <= 0 {
 			r.DurMs = 20
@@ -158,7 +172,7 @@ func (r *Request) Canonicalize() error {
 		}
 		r.Modes = nil // the replay is mode-free: pure engine + IPIs
 		r.Seed, r.VMs, r.SLOUs, r.Storms = 0, 0, 0, 0
-		r.Workload, r.N, r.Rate, r.FPS, r.Schedules = "", 0, 0, 0, 0
+		r.Workload, r.N, r.Rate, r.FPS, r.Schedules, r.Scenario = "", 0, 0, 0, 0, ""
 		r.Faults, r.FaultSeed, r.FaultRate, r.Trace = "", 0, 0, false
 	case KindCheck:
 		if r.Schedules <= 0 {
@@ -169,7 +183,7 @@ func (r *Request) Canonicalize() error {
 		}
 		r.Modes = nil // the oracle always runs the full mode set
 		r.VMs, r.SLOUs, r.Storms, r.DurMs, r.CrossEvery = 0, 0, 0, 0, 0
-		r.Workload, r.N, r.Rate, r.FPS = "", 0, 0, 0
+		r.Workload, r.N, r.Rate, r.FPS, r.Scenario = "", 0, 0, 0, ""
 		r.Faults, r.FaultSeed, r.FaultRate, r.Trace = "", 0, 0, false
 	case KindFaultGrid:
 		if r.Faults == "" && r.FaultRate == 0 {
@@ -189,7 +203,7 @@ func (r *Request) Canonicalize() error {
 			r.VMs, r.Seed = 0, 0
 		}
 		r.SLOUs, r.DurMs, r.CrossEvery = 0, 0, 0
-		r.Workload, r.Rate, r.FPS, r.Schedules = "", 0, 0, 0
+		r.Workload, r.Rate, r.FPS, r.Schedules, r.Scenario = "", 0, 0, 0, ""
 	case KindWorkload:
 		if r.Workload == "" {
 			r.Workload = "cpuid"
@@ -224,12 +238,32 @@ func (r *Request) Canonicalize() error {
 			r.N, r.DurMs, r.Rate = 0, 0, 0
 		}
 		r.Seed, r.VMs, r.SLOUs, r.Storms, r.CrossEvery, r.Schedules = 0, 0, 0, 0, 0, 0
+		r.Scenario = ""
+	case KindLB:
+		if r.Scenario == "" {
+			r.Scenario = "steady"
+		}
+		if !lbScenarioKnown(r.Scenario) {
+			return uerr.New("scenario", r.Scenario, "unknown lb scenario",
+				"valid: "+strings.Join(exp.LBScenarios(), ", "))
+		}
+		if r.VMs <= 0 {
+			r.VMs = 4
+		}
+		if r.SLOUs <= 0 {
+			r.SLOUs = 1000
+		}
+		if r.Seed == 0 {
+			r.Seed = 42
+		}
+		r.Storms, r.DurMs, r.CrossEvery = 0, 0, 0
+		r.Workload, r.N, r.Rate, r.FPS, r.Schedules = "", 0, 0, 0, 0
 	case "":
 		return uerr.New("kind", "", "missing request kind",
-			"valid: density, storm, fleet, check, faultgrid, workload")
+			"valid: density, storm, fleet, check, faultgrid, workload, lb")
 	default:
 		return uerr.New("kind", r.Kind, "unknown request kind",
-			"valid: density, storm, fleet, check, faultgrid, workload")
+			"valid: density, storm, fleet, check, faultgrid, workload, lb")
 	}
 	return nil
 }

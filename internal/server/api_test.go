@@ -21,6 +21,7 @@ func TestCanonicalizeEquivalence(t *testing.T) {
 		Seed:     42, VMs: 8, Storms: 12,
 		// Fields the storm kind ignores must be zeroed away.
 		SLOUs: 999, DurMs: 77, Workload: "video", FPS: 30, Schedules: 9,
+		Scenario: "overload",
 	}
 	for _, r := range []*Request{sparse, explicit} {
 		if err := r.Canonicalize(); err != nil {
@@ -55,6 +56,9 @@ func TestCanonicalizeDistinct(t *testing.T) {
 		{"workload-netrr", Request{Kind: KindWorkload, Workload: "netrr"}},
 		{"workload-trace", Request{Kind: KindWorkload, Trace: true}},
 		{"faultgrid", Request{Kind: KindFaultGrid, FaultRate: 0.1}},
+		{"lb", Request{Kind: KindLB}},
+		{"lb-overload", Request{Kind: KindLB, Scenario: "overload"}},
+		{"lb-k", Request{Kind: KindLB, VMs: 8}},
 	} {
 		r := tc.req
 		if err := r.Canonicalize(); err != nil {
@@ -100,6 +104,7 @@ func TestCanonicalizeErrors(t *testing.T) {
 		{"faultgrid no spec", Request{Kind: KindFaultGrid}, "faults"},
 		{"bad fault rate", Request{Kind: KindStorm, FaultRate: 1.5}, "fault_rate"},
 		{"bad fault spec", Request{Kind: KindStorm, Faults: "nonsense"}, "faults"},
+		{"bad lb scenario", Request{Kind: KindLB, Scenario: "sinusoid"}, "scenario"},
 	} {
 		r := tc.req
 		err := r.Canonicalize()

@@ -111,6 +111,15 @@ func (s *Server) execute(ctx context.Context, j *job) (*cacheEntry, error) {
 		if err != nil {
 			return nil, err
 		}
+	case KindLB:
+		results, err := es.LoadBalancerTableJob(ctx, req.parsedModes(), req.VMs,
+			req.Scenario, req.Seed, req.SLOUs, pr)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range results {
+			lines = append(lines, r.StatsLine())
+		}
 	default:
 		return nil, fmt.Errorf("server: unreachable kind %q", req.Kind)
 	}

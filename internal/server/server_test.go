@@ -497,6 +497,7 @@ func TestAllKindsServe(t *testing.T) {
 		"check":     {Kind: KindCheck, Schedules: 2},
 		"faultgrid": {Kind: KindFaultGrid, Topology: "1x2x2", FaultRate: 0.05, N: 10, Modes: []string{"hw"}},
 		"workload":  {Kind: KindWorkload, Workload: "netrr", N: 50, Topology: "1x2x2", Modes: []string{"sw", "hw"}},
+		"lb":        {Kind: KindLB, Topology: "1x2x2", VMs: 2, Modes: []string{"baseline", "hw"}},
 	} {
 		res, err := c.Run(ctx, req, nil)
 		if err != nil {

@@ -1,0 +1,241 @@
+// Package traffic generates open-loop arrival processes for the load
+// plane: seeded Poisson streams, bursty on/off modulation, and
+// recorded-trace playback. An arrival schedule is a pure function of
+// its Spec — the same spec yields the same arrival instants on every
+// run, at any parallelism — which is what lets the load-balancer
+// scenario stay byte-identical while modelling production-shaped load.
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"svtsim/internal/sim"
+)
+
+// Kind selects the arrival process.
+type Kind int
+
+const (
+	// Poisson arrivals: exponential inter-arrival gaps at Rate req/s.
+	Poisson Kind = iota
+	// OnOff alternates bursts at BurstRate (for OnDur) with quiet
+	// phases at Rate (for OffDur). Rate zero makes the quiet phase
+	// silent.
+	OnOff
+	// Trace replays recorded inter-arrival gaps, cycling when the
+	// trace is shorter than the horizon.
+	Trace
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case OnOff:
+		return "burst"
+	case Trace:
+		return "trace"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind maps a CLI token to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "poisson":
+		return Poisson, nil
+	case "burst", "onoff":
+		return OnOff, nil
+	case "trace":
+		return Trace, nil
+	}
+	return 0, fmt.Errorf("traffic: unknown kind %q (want poisson, burst, or trace)", s)
+}
+
+// Spec fully determines an arrival schedule.
+type Spec struct {
+	Kind Kind
+	// Rate is the steady request rate in req/s (Poisson), or the
+	// quiet-phase rate (OnOff).
+	Rate float64
+	// BurstRate is the on-phase rate for OnOff.
+	BurstRate float64
+	// OnDur/OffDur are the OnOff phase lengths. Zero defaults to 1 ms
+	// on, 4 ms off.
+	OnDur, OffDur sim.Time
+	// Seed drives every random draw.
+	Seed int64
+	// Gaps is the recorded inter-arrival trace (Trace kind).
+	Gaps []sim.Time
+}
+
+func (s Spec) String() string {
+	switch s.Kind {
+	case OnOff:
+		return fmt.Sprintf("burst(%.0f/%.0f req/s, on=%v off=%v, seed=%d)",
+			s.BurstRate, s.Rate, s.onDur(), s.offDur(), s.Seed)
+	case Trace:
+		return fmt.Sprintf("trace(%d gaps)", len(s.Gaps))
+	}
+	return fmt.Sprintf("poisson(%.0f req/s, seed=%d)", s.Rate, s.Seed)
+}
+
+func (s Spec) onDur() sim.Time {
+	if s.OnDur > 0 {
+		return s.OnDur
+	}
+	return sim.Millisecond
+}
+
+func (s Spec) offDur() sim.Time {
+	if s.OffDur > 0 {
+		return s.OffDur
+	}
+	return 4 * sim.Millisecond
+}
+
+// Arrivals materialises every arrival instant in [0, horizon), strictly
+// increasing. It is pure: two calls with the same spec and horizon
+// return identical slices.
+func (s Spec) Arrivals(horizon sim.Time) []sim.Time {
+	var out []sim.Time
+	g := s.generator()
+	for {
+		t, ok := g.next()
+		if !ok || t >= horizon {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// generator returns the incremental form of the schedule; Source uses
+// it to avoid materialising long horizons.
+func (s Spec) generator() *gen {
+	g := &gen{spec: s, rnd: sim.NewRand(s.Seed).Float64}
+	if s.Kind == OnOff {
+		g.on = true
+		g.phaseEnd = s.onDur()
+	}
+	return g
+}
+
+type gen struct {
+	spec Spec
+	rnd  func() float64
+	t    sim.Time
+	i    int // trace cursor
+
+	on       bool
+	phaseEnd sim.Time
+}
+
+// next produces the following arrival instant. ok=false means the
+// process is silent forever after (zero rates, empty trace).
+func (g *gen) next() (sim.Time, bool) {
+	switch g.spec.Kind {
+	case Trace:
+		if len(g.spec.Gaps) == 0 {
+			return 0, false
+		}
+		gap := g.spec.Gaps[g.i%len(g.spec.Gaps)]
+		g.i++
+		if gap < 1 {
+			gap = 1
+		}
+		g.t += gap
+		return g.t, true
+	case OnOff:
+		// Draw at the current phase's rate; a gap that crosses the
+		// phase boundary is re-drawn from the boundary (the exponential
+		// is memoryless, so this is exact thinning).
+		for tries := 0; tries < 1<<16; tries++ {
+			rate := g.spec.Rate
+			if g.on {
+				rate = g.spec.BurstRate
+			}
+			if rate <= 0 {
+				// Silent phase: jump to the next boundary.
+				if g.spec.BurstRate <= 0 && g.spec.Rate <= 0 {
+					return 0, false
+				}
+				g.t = g.phaseEnd
+				g.flip()
+				continue
+			}
+			gap := expGap(g.rnd, rate)
+			if g.t+gap >= g.phaseEnd {
+				g.t = g.phaseEnd
+				g.flip()
+				continue
+			}
+			g.t += gap
+			return g.t, true
+		}
+		return 0, false // pathological spec: give up rather than spin
+	default: // Poisson
+		if g.spec.Rate <= 0 {
+			return 0, false
+		}
+		g.t += expGap(g.rnd, g.spec.Rate)
+		return g.t, true
+	}
+}
+
+func (g *gen) flip() {
+	g.on = !g.on
+	if g.on {
+		g.phaseEnd += g.spec.onDur()
+	} else {
+		g.phaseEnd += g.spec.offDur()
+	}
+}
+
+// expGap draws one exponential inter-arrival gap, clamped to >= 1 ns so
+// schedules stay strictly increasing and bounded by the horizon.
+func expGap(rnd func() float64, rate float64) sim.Time {
+	u := rnd()
+	if u <= 0 {
+		u = 1e-12
+	}
+	gap := sim.Time(-float64(sim.Second) / rate * math.Log(u))
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+// Source drives a Spec on an engine: Fire runs at each arrival instant
+// until stopAt. All scheduling happens one arrival ahead, so a source
+// never floods the event heap.
+type Source struct {
+	Eng  *sim.Engine
+	Spec Spec
+	// Fire receives the arrival ordinal (0-based).
+	Fire func(i uint64)
+
+	Issued uint64
+}
+
+// Start schedules the arrival process until stopAt (exclusive).
+func (s *Source) Start(stopAt sim.Time) {
+	g := s.Spec.generator()
+	base := s.Eng.Now()
+	var step func()
+	step = func() {
+		t, ok := g.next()
+		if !ok || base+t >= stopAt {
+			return
+		}
+		s.Eng.At(base+t, func() {
+			i := s.Issued
+			s.Issued++
+			if s.Fire != nil {
+				s.Fire(i)
+			}
+			step()
+		})
+	}
+	step()
+}

@@ -1,0 +1,155 @@
+package traffic
+
+import (
+	"testing"
+
+	"svtsim/internal/sim"
+)
+
+func TestPoissonDeterministicAndRate(t *testing.T) {
+	spec := Spec{Kind: Poisson, Rate: 100000, Seed: 3}
+	d := 10 * sim.Millisecond
+	a := spec.Arrivals(d)
+	b := spec.Arrivals(d)
+	if len(a) != len(b) {
+		t.Fatalf("same spec, different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// 100k req/s over 10 ms ≈ 1000 arrivals; allow wide stochastic slack.
+	if len(a) < 700 || len(a) > 1300 {
+		t.Fatalf("got %d arrivals, want ≈1000", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+	}
+	if last := a[len(a)-1]; last >= d {
+		t.Fatalf("arrival %v past horizon %v", last, d)
+	}
+	other := Spec{Kind: Poisson, Rate: 100000, Seed: 4}.Arrivals(d)
+	if len(other) == len(a) && other[0] == a[0] && other[len(other)-1] == a[len(a)-1] {
+		t.Fatal("different seeds produced the same schedule")
+	}
+}
+
+func TestOnOffBurstiness(t *testing.T) {
+	spec := Spec{
+		Kind: OnOff, BurstRate: 200000, Rate: 1000,
+		OnDur: sim.Millisecond, OffDur: 4 * sim.Millisecond, Seed: 11,
+	}
+	arr := spec.Arrivals(10 * sim.Millisecond)
+	var on, off int
+	for _, a := range arr {
+		// Phases: [0,1ms) on, [1,5ms) off, [5,6ms) on, [6,10ms) off.
+		inOn := a < sim.Millisecond || (a >= 5*sim.Millisecond && a < 6*sim.Millisecond)
+		if inOn {
+			on++
+		} else {
+			off++
+		}
+	}
+	// 2 ms of on-phase at 200k/s ≈ 400; 8 ms of off-phase at 1k/s ≈ 8.
+	if on < 250 || off > 40 {
+		t.Fatalf("burst shape wrong: %d on-phase, %d off-phase arrivals", on, off)
+	}
+}
+
+func TestOnOffSilentQuietPhase(t *testing.T) {
+	spec := Spec{Kind: OnOff, BurstRate: 100000, Rate: 0,
+		OnDur: sim.Millisecond, OffDur: sim.Millisecond, Seed: 5}
+	for _, a := range spec.Arrivals(6 * sim.Millisecond) {
+		phase := (a / sim.Millisecond) % 2
+		if phase != 0 {
+			t.Fatalf("arrival %v inside a silent phase", a)
+		}
+	}
+}
+
+func TestTracePlayback(t *testing.T) {
+	gaps := []sim.Time{10, 20, 30}
+	arr := Spec{Kind: Trace, Gaps: gaps}.Arrivals(150)
+	want := []sim.Time{10, 30, 60, 70, 90, 120, 130}
+	if len(arr) != len(want) {
+		t.Fatalf("got %d arrivals %v, want %v", len(arr), arr, want)
+	}
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Fatalf("arrival %d = %v, want %v (trace must cycle)", i, arr[i], want[i])
+		}
+	}
+	if got := (Spec{Kind: Trace}).Arrivals(100); len(got) != 0 {
+		t.Fatal("empty trace must be silent")
+	}
+}
+
+func TestZeroRateSilent(t *testing.T) {
+	if got := (Spec{Kind: Poisson}).Arrivals(sim.Second); len(got) != 0 {
+		t.Fatal("zero-rate poisson must be silent")
+	}
+	if got := (Spec{Kind: OnOff}).Arrivals(sim.Second); len(got) != 0 {
+		t.Fatal("zero-rate on/off must be silent")
+	}
+}
+
+// TestSourceMatchesArrivals pins the engine-driven source to the pure
+// schedule: Fire runs at exactly the instants Arrivals reports.
+func TestSourceMatchesArrivals(t *testing.T) {
+	spec := Spec{Kind: OnOff, BurstRate: 150000, Rate: 20000,
+		OnDur: 500 * sim.Microsecond, OffDur: sim.Millisecond, Seed: 21}
+	stop := 5 * sim.Millisecond
+	want := spec.Arrivals(stop)
+
+	eng := sim.New()
+	var got []sim.Time
+	src := &Source{Eng: eng, Spec: spec, Fire: func(i uint64) {
+		got = append(got, eng.Now())
+	}}
+	src.Start(stop)
+	eng.Drain(1 << 20)
+	if len(got) != len(want) {
+		t.Fatalf("source fired %d times, schedule has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d at %v, schedule says %v", i, got[i], want[i])
+		}
+	}
+	if src.Issued != uint64(len(want)) {
+		t.Fatalf("issued %d, want %d", src.Issued, len(want))
+	}
+}
+
+func TestSourceOffsetBase(t *testing.T) {
+	spec := Spec{Kind: Poisson, Rate: 1e6, Seed: 2}
+	eng := sim.New()
+	var first sim.Time
+	src := &Source{Eng: eng, Spec: spec, Fire: func(i uint64) {
+		if i == 0 {
+			first = eng.Now()
+		}
+	}}
+	// Start the source at t=100µs: the schedule shifts with it.
+	eng.After(100*sim.Microsecond, func() { src.Start(200 * sim.Microsecond) })
+	eng.Drain(1 << 20)
+	w := spec.Arrivals(100 * sim.Microsecond)
+	if len(w) == 0 || first != 100*sim.Microsecond+w[0] {
+		t.Fatalf("first fire at %v, want base+%v", first, w[0])
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, k := range map[string]Kind{"poisson": Poisson, "burst": OnOff, "onoff": OnOff, "trace": Trace} {
+		got, err := ParseKind(s)
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("sinusoid"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}

@@ -262,6 +262,40 @@ func (s *Session) StormTable(modes []Mode, k, storms int, seed int64) []StormRes
 	return s.exp.StormTable(modes, k, storms, seed)
 }
 
+// LBResult is one (mode, scenario) cell of the load-balancer figure:
+// offered/completed counts, goodput, p50/p99/p999 tail latency,
+// SLO-violation windows, transport tallies, and storm counters.
+type LBResult = exp.LBResult
+
+// LBScenarios lists the supported load-balancer scenario names in
+// report order: steady, overload, burst, storm, faults.
+func LBScenarios() []string { return exp.LBScenarios() }
+
+// LoadBalancer runs one (mode, scenario) cell: k nested backend VMs
+// packed on the session's host topology behind an L0-side balancer
+// spraying an open-loop arrival trace over reliable netstack flows.
+// Phase 1 measures each backend's service distribution uncontended
+// through the mode's full exit machinery; phase 2 replays fleet
+// contention (plus the storm or fault plane, per scenario) and drives
+// the seeded traffic trace across the host's topology-priced delivery
+// fabric. Byte-identical at any parallelism width and shard count.
+func (s *Session) LoadBalancer(mode Mode, k int, scenario string, seed int64, sloUs float64) LBResult {
+	return s.exp.LoadBalancer(mode, k, scenario, seed, sloUs)
+}
+
+// LoadBalancerTable runs LoadBalancer for every mode on the session's
+// worker pool; the table is byte-identical to running the cells
+// serially.
+func (s *Session) LoadBalancerTable(modes []Mode, k int, scenario string, seed int64, sloUs float64) []LBResult {
+	return s.exp.LoadBalancerTable(modes, k, scenario, seed, sloUs)
+}
+
+// LoadBalancerSweep runs every scenario for every mode (scenario-major
+// rows in LBScenarios order, mode-minor columns).
+func (s *Session) LoadBalancerSweep(modes []Mode, k int, seed int64, sloUs float64) []LBResult {
+	return s.exp.LoadBalancerSweep(modes, k, seed, sloUs)
+}
+
 // --- Session reports: paper-formatted output ---------------------------
 
 // ReportTable1 prints the Table 1 breakdown next to the paper's numbers.
