@@ -58,6 +58,19 @@
 //
 //	svtsim -lb 4 -lb-scenario overload -host 1x4x2
 //	svtsim -lb 8 -lb-scenario all -shards 2
+//
+// Architecture ports: -port selects the ISA backend — "x86" (default;
+// VT-x exits, LAPIC, paper Table 1 costs) or "armlike" (trap-to-EL2
+// costs, vGIC list registers, NV2-style memory-backed nested state).
+// Every experiment above honors it. -portcmp runs the net round-trip
+// workload across all registered ports and all four modes in one
+// invocation and prints the per-port Figure-6-style comparison table
+// (exit counts, mean/p50/p99, SVt speedup, exits by class).
+//
+//	svtsim -port armlike -mode hw-svt -workload netrr -n 200
+//	svtsim -port armlike -density -vms 8
+//	svtsim -port armlike -check 25
+//	svtsim -portcmp -n 400
 package main
 
 import (
@@ -126,6 +139,8 @@ func parseMigratePoints(arg string) ([]svtsim.MigratePoint, error) {
 func main() {
 	var (
 		modeStr   = flag.String("mode", "baseline", "system variant: baseline, sw-svt, hw-svt")
+		portStr   = flag.String("port", "x86", "architecture port: "+strings.Join(svtsim.PortNames(), ", "))
+		portCmp   = flag.Bool("portcmp", false, "run the cross-ISA comparison (every port x every mode, netrr workload), then exit")
 		workload  = flag.String("workload", "cpuid", "cpuid, netrr, stream, diskrd, diskwr, memcached, tpcc, video")
 		n         = flag.Int("n", 500, "iterations (cpuid/netrr/disk*)")
 		dur       = flag.Duration("dur", time.Second, "duration (stream/memcached/tpcc)")
@@ -168,7 +183,7 @@ func main() {
 
 	if *submit != "" {
 		os.Exit(runRemote(*submit, remoteFlags{
-			mode: *modeStr, workload: *workload, hostStr: *hostStr,
+			mode: *modeStr, workload: *workload, hostStr: *hostStr, port: *portStr,
 			n: *n, fps: *fps, vms: *vms, shards: *shards,
 			dur: *dur, rate: *rate, slo: *slo,
 			density: *density, storm: *storm, checkN: *checkN,
@@ -189,7 +204,12 @@ func main() {
 		return
 	}
 	if *checkN > 0 {
-		if failures := svtsim.CheckSchedules(os.Stdout, *checkN, *checkSeed, *checkDir); failures > 0 {
+		failures, err := svtsim.CheckSchedulesPort(os.Stdout, *checkN, *checkSeed, *checkDir, *portStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if failures > 0 {
 			os.Exit(1)
 		}
 		return
@@ -216,7 +236,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-shards %d: host %s has only %d cores\n", *shards, topo, topo.Cores())
 		os.Exit(2)
 	}
-	opts := []svtsim.Option{svtsim.WithHostTopology(topo), svtsim.WithParallelism(*par), svtsim.WithShards(*shards)}
+	opts := []svtsim.Option{svtsim.WithHostTopology(topo), svtsim.WithParallelism(*par),
+		svtsim.WithShards(*shards), svtsim.WithPort(*portStr)}
 	if spec, err := buildFaultSpec(*faults, *faultRate, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -260,6 +281,14 @@ func main() {
 		}
 		if wantObs {
 			writeObs(sess, *trace, *metrics, *summary)
+		}
+		return
+	}
+
+	if *portCmp {
+		if err := sess.ReportPorts(os.Stdout, nil, *n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -19,6 +19,7 @@ import (
 // remoteFlags is the subset of CLI state the passthrough consumes.
 type remoteFlags struct {
 	mode, workload, hostStr string
+	port                    string
 	n, fps, vms, shards     int
 	dur                     time.Duration
 	rate, slo               float64
@@ -43,6 +44,7 @@ func remoteRequest(f remoteFlags) (*server.Request, error) {
 	}
 	req := &server.Request{
 		Topology:  f.hostStr,
+		Port:      f.port,
 		Shards:    f.shards,
 		Faults:    f.faults,
 		FaultSeed: f.faultSeed,

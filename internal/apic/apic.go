@@ -40,9 +40,9 @@ type LAPIC struct {
 	delivered  obs.Counter
 	dropped    obs.Counter
 	delayed    obs.Counter
-	// OnDeliver, when set, is invoked after a vector becomes pending; the
-	// machine uses it to wake halted vCPUs.
-	OnDeliver func(vec int)
+	// onDeliver, when set, is invoked after a vector becomes pending; the
+	// machine uses it to wake halted vCPUs. Install with SetOnDeliver.
+	onDeliver func(vec int)
 
 	// obsT, when non-nil, receives a delivery instant per vector on the
 	// track this LAPIC belongs to.
@@ -72,6 +72,13 @@ func (l *LAPIC) Metrics(r *obs.Registry, prefix string) {
 func New(id int, eng *sim.Engine) *LAPIC {
 	return &LAPIC{ID: id, eng: eng}
 }
+
+// SetOnDeliver installs the post-delivery callback (ports.IRQController).
+func (l *LAPIC) SetOnDeliver(fn func(vec int)) { l.onDeliver = fn }
+
+// SetDeadline arms the deadline timer (ports.IRQController); on x86 the
+// deadline register is IA32_TSC_DEADLINE.
+func (l *LAPIC) SetDeadline(t sim.Time) { l.SetTSCDeadline(t) }
 
 // Deliver marks vector vec pending. Delivering an already-pending vector
 // is idempotent (edge-collapsing, as on real hardware IRR bits). Delivery
@@ -133,8 +140,8 @@ func (l *LAPIC) deliverNow(vec int) {
 		l.obsT.Instant(l.obsTrack, kind, obs.LevelNone, l.obsLabel,
 			l.eng.Now(), uint64(vec), uint64(l.npending))
 	}
-	if l.OnDeliver != nil {
-		l.OnDeliver(vec)
+	if l.onDeliver != nil {
+		l.onDeliver(vec)
 	}
 }
 

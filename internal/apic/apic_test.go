@@ -70,7 +70,7 @@ func TestOutOfRangeVectorIgnored(t *testing.T) {
 func TestOnDeliverHook(t *testing.T) {
 	l := New(0, sim.New())
 	var got []int
-	l.OnDeliver = func(vec int) { got = append(got, vec) }
+	l.SetOnDeliver(func(vec int) { got = append(got, vec) })
 	l.Deliver(5)
 	l.Deliver(5)
 	if len(got) != 2 || got[0] != 5 {

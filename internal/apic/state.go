@@ -1,6 +1,10 @@
 package apic
 
-import "svtsim/internal/sim"
+import (
+	"fmt"
+
+	"svtsim/internal/sim"
+)
 
 // State is the canonical serializable form of a LAPIC: the pending
 // vector set (IRR) in ascending order and the armed TSC deadline
@@ -36,4 +40,38 @@ func (l *LAPIC) LoadState(s State) {
 		}
 	}
 	l.SetTSCDeadline(s.Deadline)
+}
+
+// SaveWords is the port-level snapshot codec (ports.IRQController): the
+// pending-count word, the pending vectors ascending, and the deadline.
+// This encoding is frozen — snapshot section digests depend on it.
+func (l *LAPIC) SaveWords() []uint64 {
+	st := l.SaveState()
+	out := make([]uint64, 0, 2+len(st.Pending))
+	out = append(out, uint64(len(st.Pending)))
+	for _, v := range st.Pending {
+		out = append(out, uint64(v))
+	}
+	return append(out, uint64(st.Deadline))
+}
+
+// LoadWords restores state captured by SaveWords.
+func (l *LAPIC) LoadWords(ws []uint64) error {
+	if len(ws) < 2 {
+		return fmt.Errorf("apic: state needs at least 2 words, got %d", len(ws))
+	}
+	n := ws[0]
+	if n != uint64(len(ws)-2) {
+		return fmt.Errorf("apic: state claims %d pending vectors with %d words", n, len(ws))
+	}
+	var st State
+	for _, w := range ws[1 : 1+n] {
+		if w > 255 {
+			return fmt.Errorf("apic: pending vector %d out of range", w)
+		}
+		st.Pending = append(st.Pending, int(w))
+	}
+	st.Deadline = sim.Time(ws[len(ws)-1])
+	l.LoadState(st)
+	return nil
 }

@@ -12,17 +12,26 @@ import (
 // written as a repro file under dir (created if needed; skipped when dir
 // is empty). It returns the number of failing schedules.
 func RunBudget(w io.Writer, n int, seed int64, dir string) int {
+	return RunBudgetOpts(w, n, seed, dir, nil)
+}
+
+// RunBudgetOpts is RunBudget with run options — most usefully a
+// non-default architecture port, so the differential oracle checks
+// mode-equivalence on every port, not just x86. Shrinking runs under
+// the same options, so a repro minimized on one port stays failing on
+// that port.
+func RunBudgetOpts(w io.Writer, n int, seed int64, dir string, opts *RunOpts) int {
 	failures := 0
 	for i := 0; i < n; i++ {
 		s := Generate(seed + int64(i))
-		v := CheckSchedule(s, nil)
+		v := CheckSchedule(s, opts)
 		if !v.Failed() {
 			fmt.Fprintf(w, "%s\n", v)
 			continue
 		}
 		failures++
 		fmt.Fprintf(w, "%s\n", v)
-		min := Shrink(s, nil)
+		min := Shrink(s, opts)
 		fmt.Fprintf(w, "shrunk to %d ops\n", len(min.Ops))
 		if dir != "" {
 			path, err := WriteRepro(dir, min)

@@ -3,7 +3,6 @@ package check
 import (
 	"fmt"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/cpu"
 	"svtsim/internal/fault"
 	"svtsim/internal/guest"
@@ -13,6 +12,7 @@ import (
 	"svtsim/internal/machine"
 	"svtsim/internal/netsim"
 	"svtsim/internal/netstack"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 	"svtsim/internal/snapshot"
 	"svtsim/internal/virtio"
@@ -69,6 +69,11 @@ type Outcome struct {
 type RunOpts struct {
 	// Modes overrides AllModes.
 	Modes []hv.Mode
+	// Port selects the architecture backend (nil = the default x86
+	// port). Outcomes are only comparable within one port — ports
+	// charge different costs, so the oracle checks mode-equivalence
+	// per port, never across ports.
+	Port ports.Port
 	// Mutate runs against each freshly built machine before the workload
 	// starts; tests use it to sabotage one mode (e.g. arm the
 	// DropOwnedExit hook) and watch the oracle catch it.
@@ -98,6 +103,10 @@ const maxInvariantReports = 16
 func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 	out := Outcome{Mode: mode}
 	cfg := machine.DefaultConfig(mode)
+	if opts != nil && opts.Port != nil {
+		cfg.Port = opts.Port
+		cfg.Costs = opts.Port.Costs()
+	}
 	cfg.Seed = s.Seed
 	if s.WakeupDropRate > 0 {
 		// Only the recoverable wakeup-drop site is armed: the watchdog
@@ -121,7 +130,7 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 			if prevWireL1 != nil {
 				prevWireL1(m, h1, plat, port)
 			}
-			h1.VectorRoute[apic.VecIPI] = m.VC12
+			h1.VectorRoute[ports.VecIPI] = m.VC12
 		}
 	}
 	m := machine.NewNested(cfg)
@@ -166,7 +175,7 @@ func RunSchedule(s *Schedule, mode hv.Mode, opts *RunOpts) Outcome {
 		if mode == hv.ModeSWSVt {
 			target = m.VcpuSVt
 		}
-		m.L0.VectorRoute[apic.VecIPI] = target
+		m.L0.VectorRoute[ports.VecIPI] = target
 		// Only OpIPI's own send is routed into the machine: migration
 		// reschedule kicks also land on ctx 0 (the guest stack's core)
 		// and must be consumed by the host plane alone, or transparency
@@ -512,20 +521,20 @@ func (it *interp) exec(env *guest.Env, op Op) {
 		it.add(boolWord(env.Blk.Write(op.A%4096, data)))
 
 	case OpIPI:
-		before := it.irqs[apic.VecIPI]
+		before := it.irqs[ports.VecIPI]
 		if it.host != nil {
 			// The farthest core sends a real cross-core IPI; its arrival
 			// at core 0's LAPIC injects at the L1 boundary.
 			it.expectIPI = true
 			from := it.host.Topo.Ctx(0, it.s.Cores-1, 0)
-			it.host.SendIPI(from, 0, apic.VecIPI)
-			env.WaitFor(func() bool { return it.irqs[apic.VecIPI] > before })
+			it.host.SendIPI(from, 0, ports.VecIPI)
+			env.WaitFor(func() bool { return it.irqs[ports.VecIPI] > before })
 			it.expectIPI = false
 		} else {
-			it.m.L1HV.InjectIRQ(it.m.VC12, apic.VecIPI)
-			env.WaitFor(func() bool { return it.irqs[apic.VecIPI] > before })
+			it.m.L1HV.InjectIRQ(it.m.VC12, ports.VecIPI)
+			env.WaitFor(func() bool { return it.irqs[ports.VecIPI] > before })
 		}
-		it.add(it.irqs[apic.VecIPI] - before)
+		it.add(it.irqs[ports.VecIPI] - before)
 
 	case OpSMPWake:
 		workload.SMPWake(env)

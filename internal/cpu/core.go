@@ -3,12 +3,12 @@ package cpu
 import (
 	"fmt"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/cost"
 	"svtsim/internal/ept"
 	"svtsim/internal/isa"
 	"svtsim/internal/mem"
 	"svtsim/internal/obs"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 	"svtsim/internal/vmcs"
 )
@@ -51,7 +51,7 @@ type Core struct {
 	hostSave [][isa.NumGPR]uint64 // per-context host registers during guest execution
 	msrs     []map[uint32]uint64  // per-context architectural MSR state
 
-	lapics []*apic.LAPIC // physical LAPIC per context
+	lapics []ports.IRQController // physical interrupt controller per context
 
 	// µ-registers (Table 2). current is SVt_current; isVM tracks guest
 	// mode; the three SVt registers cache the fields of the loaded VMCS.
@@ -89,7 +89,7 @@ func New(eng *sim.Engine, costs *cost.Model, n int, hostMem *mem.Memory) *Core {
 		rf:        NewRegFile(n, 2*int(isa.NumGPR)),
 		hostSave:  make([][isa.NumGPR]uint64, n),
 		msrs:      make([]map[uint32]uint64, n),
-		lapics:    make([]*apic.LAPIC, n),
+		lapics:    make([]ports.IRQController, n),
 		loaded:    make([]*vmcs.VMCS, n),
 		eptTables: make(map[uint64]*ept.Table),
 		hostMem:   hostMem,
@@ -120,11 +120,13 @@ func (c *Core) EnableSVt(on bool) { c.svtOn = on }
 // SVtEnabled reports whether SVt mode is active.
 func (c *Core) SVtEnabled() bool { return c.svtOn }
 
-// SetLAPIC binds the physical local APIC of a context.
-func (c *Core) SetLAPIC(ctx ContextID, l *apic.LAPIC) { c.lapics[ctx] = l }
+// SetLAPIC binds the physical interrupt controller of a context. The
+// name predates the ports layer; it reads naturally for the default
+// x86 port and is kept for the controller role regardless of port.
+func (c *Core) SetLAPIC(ctx ContextID, l ports.IRQController) { c.lapics[ctx] = l }
 
-// LAPIC returns the physical local APIC of a context.
-func (c *Core) LAPIC(ctx ContextID) *apic.LAPIC { return c.lapics[ctx] }
+// LAPIC returns the physical interrupt controller of a context.
+func (c *Core) LAPIC(ctx ContextID) ports.IRQController { return c.lapics[ctx] }
 
 // RegisterEPT associates an EPT-pointer value with a table so guest MMIO
 // accesses can be translated. Passing nil unregisters.

@@ -1,8 +1,8 @@
 package cpu
 
 import (
-	"svtsim/internal/apic"
 	"svtsim/internal/isa"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 	"svtsim/internal/vmcs"
 )
@@ -242,9 +242,9 @@ type Port struct {
 	Ctx   ContextID
 	VM    *vmcs.VMCS // controlling VMCS of the current session
 
-	// VirtLAPIC is the guest's virtual local APIC; vectors injected by the
-	// hypervisor land here.
-	VirtLAPIC *apic.LAPIC
+	// VirtLAPIC is the guest's virtual interrupt controller; vectors
+	// injected by the hypervisor land here.
+	VirtLAPIC ports.IRQController
 	// IRQHandler, when set, is the guest kernel's interrupt entry point; it
 	// runs natively at instruction boundaries for each pending vector.
 	IRQHandler func(vec int)

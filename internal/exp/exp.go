@@ -127,6 +127,7 @@ func (s *Session) TraceNestedCPUID(mode hv.Mode, n, ring int) []hv.TraceEntry {
 type IOResult struct {
 	Mode      hv.Mode
 	MeanUs    float64
+	P50Us     float64
 	P99Us     float64
 	Mbps      float64
 	KBs       float64
@@ -164,7 +165,7 @@ func (s *Session) NetLatencyEvents(mode hv.Mode, n int) (IOResult, uint64, sim.T
 	s.run(m)
 	m.Shutdown()
 	sum, _ := stats.Summarize(w.Lat)
-	r := IOResult{Mode: mode, MeanUs: sum.Mean, P99Us: sum.P99, ExitStats: &m.L0.NestedProf}
+	r := IOResult{Mode: mode, MeanUs: sum.Mean, P50Us: sum.P50, P99Us: sum.P99, ExitStats: &m.L0.NestedProf}
 	return r, m.Eng.Dispatched(), m.Now()
 }
 
@@ -199,7 +200,7 @@ func (s *Session) DiskLatency(mode hv.Mode, write bool, n int) IOResult {
 	s.run(m)
 	m.Shutdown()
 	sum, _ := stats.Summarize(w.Lat)
-	return IOResult{Mode: mode, MeanUs: sum.Mean, P99Us: sum.P99, ExitStats: &m.L0.NestedProf}
+	return IOResult{Mode: mode, MeanUs: sum.Mean, P50Us: sum.P50, P99Us: sum.P99, ExitStats: &m.L0.NestedProf}
 }
 
 // DiskBandwidth runs fio (Figure 7 "Disk randrd/randwr bandwidth"):

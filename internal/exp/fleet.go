@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"hash/fnv"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/host"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 )
 
@@ -94,7 +94,7 @@ func fleetReplay(ctx context.Context, spec FleetReplaySpec, pr ProgressFunc) (Fl
 		tick = func() {
 			ticks[c]++
 			if spec.CrossEvery > 0 && ticks[c]%uint64(spec.CrossEvery) == 0 {
-				h.SendIPI(c, partner, apic.VecIPI)
+				h.SendIPI(c, partner, ports.VecIPI)
 			}
 			eng.After(period, tick)
 		}

@@ -10,6 +10,14 @@ import (
 	"svtsim/internal/machine"
 	"svtsim/internal/obs"
 	"svtsim/internal/parallel"
+	"svtsim/internal/ports"
+	x86port "svtsim/internal/ports/x86"
+
+	// Every architecture port registers itself at init; the session layer
+	// is the one place all frontends (CLI, daemon, bench) pass through,
+	// so importing the non-default ports here makes ports.Parse see them
+	// everywhere.
+	_ "svtsim/internal/ports/armlike"
 )
 
 // Session carries one experiment campaign's configuration — fault spec,
@@ -31,6 +39,7 @@ type Session struct {
 	topo    host.Topology
 	hostP   host.Params
 	shards  int
+	port    ports.Port
 }
 
 // Default is the session behind the deprecated package-level functions.
@@ -40,7 +49,28 @@ var Default = NewSession()
 // no observability, the global worker pool, the paper's 2x8x2 testbed
 // topology.
 func NewSession() *Session {
-	return &Session{topo: host.DefaultTopology, hostP: host.DefaultParams()}
+	return &Session{topo: host.DefaultTopology, hostP: host.DefaultParams(),
+		port: x86port.Port()}
+}
+
+// SetPort selects the architecture backend for this session's
+// subsequent experiment runs; nil restores the default x86 port. The
+// port's calibrated cost model comes with it.
+func (s *Session) SetPort(p ports.Port) {
+	if p == nil {
+		p = x86port.Port()
+	}
+	s.mu.Lock()
+	s.port = p
+	s.hostP.Port = p
+	s.mu.Unlock()
+}
+
+// Port reports the session's architecture backend.
+func (s *Session) Port() ports.Port {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.port
 }
 
 // SetFaults installs (or, with nil, clears) the fault spec applied to
@@ -145,18 +175,26 @@ func (s *Session) SetHostParams(p host.Params) {
 	s.mu.Unlock()
 }
 
-// HostParams reports the session's host cost model.
+// HostParams reports the session's host cost model, stamped with the
+// session's port so fleet-scale hosts build their controllers from it.
 func (s *Session) HostParams() host.Params {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hostP
+	p := s.hostP
+	p.Port = s.port
+	return p
 }
 
 // config is the session-wide machine configuration: the calibrated
-// defaults plus whatever fault plane and observability are armed.
+// defaults for the session's port plus whatever fault plane and
+// observability are armed.
 func (s *Session) config(mode hv.Mode) machine.Config {
 	cfg := machine.DefaultConfig(mode)
 	s.mu.Lock()
+	if s.port != nil {
+		cfg.Port = s.port
+		cfg.Costs = s.port.Costs()
+	}
 	cfg.Faults = s.faults
 	cfg.Obs = s.obsOpts
 	s.mu.Unlock()

@@ -3,8 +3,9 @@ package host
 import (
 	"fmt"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/obs"
+	"svtsim/internal/ports"
+	x86port "svtsim/internal/ports/x86"
 	"svtsim/internal/sim"
 )
 
@@ -24,6 +25,10 @@ type Params struct {
 
 	Quantum  sim.Time
 	SMTShare float64
+	// Port supplies the per-context interrupt controllers (nil = the
+	// default x86 port). It is identity, not a cost knob, so the
+	// svtsimd digest fingerprint carries the port name separately.
+	Port ports.Port
 	// RebalanceEvery is the number of quanta between L0 load-balancer
 	// passes (0 disables migration).
 	RebalanceEvery int
@@ -67,7 +72,7 @@ type Host struct {
 	shardOf []int
 	engs    []*sim.Engine
 
-	lapics []*apic.LAPIC
+	lapics []ports.IRQController
 
 	// OnIPI, when set for a context, handles reschedule-IPI arrival
 	// there instead of the default (count and ack). The differential
@@ -142,6 +147,9 @@ func NewSharded(t Topology, p Params, shards int) (*Host, error) {
 }
 
 func newHost(eng *sim.Engine, sh *sim.ShardedEngine, shardOf []int, t Topology, p Params) *Host {
+	if p.Port == nil {
+		p.Port = x86port.Port()
+	}
 	h := &Host{
 		Topo:         t,
 		P:            p,
@@ -149,7 +157,7 @@ func newHost(eng *sim.Engine, sh *sim.ShardedEngine, shardOf []int, t Topology, 
 		shards:       sh,
 		shardOf:      shardOf,
 		engs:         make([]*sim.Engine, t.Contexts()),
-		lapics:       make([]*apic.LAPIC, t.Contexts()),
+		lapics:       make([]ports.IRQController, t.Contexts()),
 		onIPI:        make([]func(int), t.Contexts()),
 		ipiSent:      make([][4]uint64, t.Contexts()),
 		ipiRecv:      make([]uint64, t.Contexts()),
@@ -162,8 +170,8 @@ func newHost(eng *sim.Engine, sh *sim.ShardedEngine, shardOf []int, t Topology, 
 			ceng = sh.Shard(shardOf[c])
 		}
 		h.engs[c] = ceng
-		l := apic.New(int(c), ceng)
-		l.OnDeliver = func(vec int) { h.ipiArrived(ceng, c, vec) }
+		l := p.Port.NewIRQ(int(c), ceng)
+		l.SetOnDeliver(func(vec int) { h.ipiArrived(ceng, c, vec) })
 		h.lapics[c] = l
 	}
 	h.Sched = newScheduler(h)
@@ -237,8 +245,8 @@ func (h *Host) ArmFaults(inj sim.FaultInjector) {
 	}
 }
 
-// LAPIC returns the local APIC of a hardware context.
-func (h *Host) LAPIC(c CtxID) *apic.LAPIC { return h.lapics[c] }
+// LAPIC returns the interrupt controller of a hardware context.
+func (h *Host) LAPIC(c CtxID) ports.IRQController { return h.lapics[c] }
 
 // OnIPI installs a per-context IPI arrival handler (nil restores the
 // default count-and-ack behaviour).

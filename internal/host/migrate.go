@@ -3,9 +3,9 @@ package host
 import (
 	"fmt"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/fault"
 	"svtsim/internal/obs"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 )
 
@@ -209,11 +209,11 @@ func (s *Scheduler) MigrateGang(a *Assignment, dst []CtxID, bytes, extraFail int
 			}
 			for _, c := range old {
 				s.reschedIPIs++
-				h.SendIPI(0, c, apic.VecIPI)
+				h.SendIPI(0, c, ports.VecIPI)
 			}
 			for _, c := range a.Ctxs {
 				s.reschedIPIs++
-				h.SendIPI(0, c, apic.VecIPI)
+				h.SendIPI(0, c, ports.VecIPI)
 			}
 			res.Completed = true
 			br.Success()

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/fault"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
 )
@@ -109,7 +109,7 @@ func (s *Scheduler) Admit(vm, nthreads int) Assignment {
 	for _, c := range a.Ctxs {
 		s.load[c]++
 		s.reschedIPIs++
-		s.h.SendIPI(0, c, apic.VecIPI)
+		s.h.SendIPI(0, c, ports.VecIPI)
 	}
 	return a
 }
@@ -647,6 +647,6 @@ func (s *Scheduler) rebalance(residents [][]*thread) {
 	s.load[minC]++
 	s.migrations++
 	s.reschedIPIs += 2
-	s.h.SendIPI(0, CtxID(minC), apic.VecIPI)
-	s.h.SendIPI(0, src, apic.VecIPI)
+	s.h.SendIPI(0, CtxID(minC), ports.VecIPI)
+	s.h.SendIPI(0, src, ports.VecIPI)
 }

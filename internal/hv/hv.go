@@ -4,17 +4,17 @@ import (
 	"fmt"
 	"strings"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/cost"
 	"svtsim/internal/cpu"
 	"svtsim/internal/isa"
 	"svtsim/internal/obs"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 	"svtsim/internal/uerr"
 	"svtsim/internal/vmcs"
 )
 
-const vecTimer = apic.VecTimer
+const vecTimer = ports.VecTimer
 
 // Mode selects which acceleration path the hypervisor uses.
 type Mode int
@@ -116,9 +116,9 @@ type VCPU struct {
 	// registers (1 = direct guest, 2 = nested guest).
 	Lvl int
 
-	// VirtLAPIC is the guest's virtual local APIC: vectors routed to this
-	// vCPU land here and are injected on the next VM entry.
-	VirtLAPIC *apic.LAPIC
+	// VirtLAPIC is the guest's virtual interrupt controller: vectors routed
+	// to this vCPU land here and are injected on the next VM entry.
+	VirtLAPIC ports.IRQController
 
 	// Nested carries the state for a guest that is itself a hypervisor.
 	Nested *NestedState

@@ -43,7 +43,7 @@ type Platform interface {
 
 	// SetTimer arms the one-shot platform timer that backs a guest's
 	// virtualized TSC deadline; at deadline the platform delivers
-	// apic.VecTimer to the hypervisor owning vc.
+	// ports.VecTimer to the hypervisor owning vc.
 	SetTimer(vc *VCPU, deadline sim.Time)
 
 	// INVEPT invalidates cached translations for an EPT root.

@@ -37,8 +37,20 @@ func (e TraceEntry) String() string {
 // vCPU name interned, and reconstructed on read. The slab is allocated
 // up front, so the old grow-to-cap accounting edge cannot recur.
 type Trace struct {
-	ring *obs.Ring
-	in   obs.Interner
+	ring  *obs.Ring
+	in    obs.Interner
+	namer func(isa.ExitReason) string
+}
+
+// SetExitNamer installs a port-vocabulary renderer used by Dump and
+// Summary (nil keeps the shared isa names, the x86 spellings).
+func (t *Trace) SetExitNamer(fn func(isa.ExitReason) string) { t.namer = fn }
+
+func (t *Trace) exitName(r isa.ExitReason) string {
+	if t.namer != nil {
+		return t.namer(r)
+	}
+	return r.String()
 }
 
 // NewTrace returns a trace ring holding the most recent n entries.
@@ -88,7 +100,12 @@ func (t *Trace) Entries() []TraceEntry {
 func (t *Trace) Dump(w io.Writer) {
 	fmt.Fprintf(w, "exit trace: %d recorded, %d retained\n", t.ring.Total(), t.ring.Len())
 	for _, e := range t.Entries() {
-		fmt.Fprintln(w, " ", e.String())
+		lvl := "direct"
+		if e.Nested {
+			lvl = "nested"
+		}
+		fmt.Fprintf(w, "  %-10s %-8s %-6s %-20s qual=%#x took=%s\n",
+			e.At, e.VCPU, lvl, t.exitName(e.Reason), e.Qual, e.Duration)
 	}
 }
 
@@ -101,7 +118,7 @@ func (t *Trace) Summary() string {
 	var b strings.Builder
 	for r, c := range counts {
 		if c > 0 {
-			fmt.Fprintf(&b, "%s=%d ", isa.ExitReason(r), c)
+			fmt.Fprintf(&b, "%s=%d ", t.exitName(isa.ExitReason(r)), c)
 		}
 	}
 	return strings.TrimSpace(b.String())

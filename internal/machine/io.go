@@ -3,7 +3,6 @@ package machine
 import (
 	"fmt"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/blk"
 	"svtsim/internal/cpu"
 	"svtsim/internal/ept"
@@ -11,6 +10,7 @@ import (
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
 	"svtsim/internal/netsim"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 	"svtsim/internal/virtio"
 )
@@ -133,14 +133,14 @@ func WireNestedIO(cfg *Config, p IOParams) *IOStack {
 		io.L0Net = virtio.NewNetBackend("l0-virtio-net", L1NetMMIO, view01, io.NIC)
 		io.L0Net.Eng = eng
 		io.L0Net.NotifyHost = func() { m.Core.LAPIC(0).Deliver(HostNetVec) }
-		io.L0Net.RaiseGuestIRQ = func() { m.L0.InjectIRQ(m.L1IRQTarget(), apic.VecVirtioNet) }
+		io.L0Net.RaiseGuestIRQ = func() { m.L0.InjectIRQ(m.L1IRQTarget(), ports.VecVirtioNet) }
 		m.L0.Devices[DevL1Net] = io.L0Net
 		m.L0.VectorToDevice[HostNetVec] = io.L0Net
 
 		io.L0Blk = virtio.NewBlkBackend("l0-virtio-blk", L1BlkMMIO, view01, io.Disk)
 		io.L0Blk.Eng = eng
 		io.L0Blk.NotifyHost = func() { m.Core.LAPIC(0).Deliver(HostBlkVec) }
-		io.L0Blk.RaiseGuestIRQ = func() { m.L0.InjectIRQ(m.L1IRQTarget(), apic.VecVirtioBlk) }
+		io.L0Blk.RaiseGuestIRQ = func() { m.L0.InjectIRQ(m.L1IRQTarget(), ports.VecVirtioBlk) }
 		m.L0.Devices[DevL1Blk] = io.L0Blk
 		m.L0.VectorToDevice[HostBlkVec] = io.L0Blk
 
@@ -165,12 +165,12 @@ func WireNestedIO(cfg *Config, p IOParams) *IOStack {
 		env1 := guest.NewEnv(port, view01, l1ArenaBase, l1ArenaSize)
 		io.L1Env = env1
 
-		nd, err := guest.NewNetDriver(env1, apic.VecVirtioNet, L1NetMMIO, l1NetLayout, guest.DefaultNetConfig())
+		nd, err := guest.NewNetDriver(env1, ports.VecVirtioNet, L1NetMMIO, l1NetLayout, guest.DefaultNetConfig())
 		if err != nil {
 			panic(fmt.Sprintf("machine: L1 net driver: %v", err))
 		}
 		io.L1NetDrv = nd
-		bd, err := guest.NewBlkDriver(env1, apic.VecVirtioBlk, L1BlkMMIO, l1BlkLayout, 64)
+		bd, err := guest.NewBlkDriver(env1, ports.VecVirtioBlk, L1BlkMMIO, l1BlkLayout, 64)
 		if err != nil {
 			panic(fmt.Sprintf("machine: L1 blk driver: %v", err))
 		}
@@ -183,13 +183,13 @@ func WireNestedIO(cfg *Config, p IOParams) *IOStack {
 		io.L1Net.Eng = m.Eng
 		io.L1Net.TxCoalesce = io.l1NetTxCoalesce
 		io.L1Net.NotifyHost = func() { io.L1Net.OnIRQ() }
-		io.L1Net.RaiseGuestIRQ = func() { h1.InjectIRQ(m.VC12, apic.VecVirtioNet) }
+		io.L1Net.RaiseGuestIRQ = func() { h1.InjectIRQ(m.VC12, ports.VecVirtioNet) }
 		h1.Devices[DevL2Net] = io.L1Net
 
 		io.L1Blk = virtio.NewBlkBackend("l1-vhost-blk", L2BlkMMIO, l2mem, bd.AsTransport())
 		io.L1Blk.Eng = m.Eng
 		io.L1Blk.NotifyHost = func() { io.L1Blk.OnIRQ() }
-		io.L1Blk.RaiseGuestIRQ = func() { h1.InjectIRQ(m.VC12, apic.VecVirtioBlk) }
+		io.L1Blk.RaiseGuestIRQ = func() { h1.InjectIRQ(m.VC12, ports.VecVirtioBlk) }
 		h1.Devices[DevL2Blk] = io.L1Blk
 
 		if m.Obs != nil {
@@ -224,14 +224,14 @@ func (m *Machine) InstallL2(io *IOStack, withNet, withBlk bool, body L2Body) {
 	l2guest := cpu.NewNativeGuest("L2", m.Core, m.Ns.L2VCPU.Ctx, func(p *cpu.Port) {
 		env := guest.NewEnv(p, l2View{m}, l2ArenaBase, l2ArenaSize)
 		io.L2Env = env
-		guest.NewTimerDriver(env, apic.VecTimer)
+		guest.NewTimerDriver(env, ports.VecTimer)
 		if withNet {
-			if _, err := guest.NewNetDriver(env, apic.VecVirtioNet, L2NetMMIO, l2NetLayout, guest.DefaultNetConfig()); err != nil {
+			if _, err := guest.NewNetDriver(env, ports.VecVirtioNet, L2NetMMIO, l2NetLayout, guest.DefaultNetConfig()); err != nil {
 				panic(fmt.Sprintf("machine: L2 net driver: %v", err))
 			}
 		}
 		if withBlk {
-			if _, err := guest.NewBlkDriver(env, apic.VecVirtioBlk, L2BlkMMIO, l2BlkLayout, 64); err != nil {
+			if _, err := guest.NewBlkDriver(env, ports.VecVirtioBlk, L2BlkMMIO, l2BlkLayout, 64); err != nil {
 				panic(fmt.Sprintf("machine: L2 blk driver: %v", err))
 			}
 		}
@@ -243,7 +243,7 @@ func (m *Machine) InstallL2(io *IOStack, withNet, withBlk bool, body L2Body) {
 		}
 		body(env)
 	})
-	l2lapic := apic.New(200, m.Eng)
+	l2lapic := m.Cfg.Port.NewIRQ(200, m.Eng)
 	if m.Obs != nil {
 		l2lapic.SetObs(m.Obs.Tracer, int(m.Ns.L2VCPU.Ctx), "L2.apic")
 		l2lapic.Metrics(m.Obs.Metrics, "apic.l2")

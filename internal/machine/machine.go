@@ -8,7 +8,6 @@ package machine
 import (
 	"fmt"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/core"
 	"svtsim/internal/cost"
 	"svtsim/internal/cpu"
@@ -18,9 +17,10 @@ import (
 	"svtsim/internal/isa"
 	"svtsim/internal/mem"
 	"svtsim/internal/obs"
+	"svtsim/internal/ports"
+	x86port "svtsim/internal/ports/x86"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
-	"svtsim/internal/vmcs"
 )
 
 // Physical layout of the simulated machine. RAM windows are sized for
@@ -63,6 +63,13 @@ type Config struct {
 	Mode  hv.Mode
 	Costs cost.Model
 	Seed  int64
+
+	// Port is the architecture backend: it supplies the interrupt
+	// controllers, the exit vocabulary/taxonomy, and the snapshot
+	// section prefix. Nil means the default x86 port. Costs is kept
+	// separate (rather than always deriving from Port) so sweeps can
+	// perturb individual cost primitives of a port's model.
+	Port ports.Port
 
 	// SW SVt channel parameters (§5.2/§6.1).
 	WaitPolicy      swsvt.Policy
@@ -107,6 +114,7 @@ func DefaultConfig(mode hv.Mode) Config {
 	return Config{
 		Mode:            mode,
 		Costs:           cost.Baseline(),
+		Port:            x86port.Port(),
 		Seed:            1,
 		WaitPolicy:      swsvt.PolicyMwait,
 		Placement:       swsvt.PlaceSMT,
@@ -170,6 +178,9 @@ func contextsFor(mode hv.Mode) int {
 }
 
 func newBase(cfg Config, nctx int) *Machine {
+	if cfg.Port == nil {
+		cfg.Port = x86port.Port()
+	}
 	m := &Machine{Cfg: cfg, nctx: nctx}
 	m.Eng = sim.New()
 	m.Faults = cfg.Faults.Build(m.Eng)
@@ -190,9 +201,9 @@ func newBase(cfg Config, nctx int) *Machine {
 		m.Eng.SetOrigin(cfg.HostCoreID)
 	}
 	for i := 0; i < nctx; i++ {
-		l := apic.New(i, m.Eng)
+		l := cfg.Port.NewIRQ(i, m.Eng)
 		m.Core.SetLAPIC(cpu.ContextID(i), l)
-		m.Eng.AddProbe(fmt.Sprintf("lapic%d", i), l.ProbeState)
+		m.Eng.AddProbe(fmt.Sprintf("%s%d", cfg.Port.IRQSectionPrefix(), i), l.ProbeState)
 	}
 	if cfg.Mode == hv.ModeHWSVt || cfg.Mode == hv.ModeHWSVtBypass {
 		if err := core.DefaultHierarchy().Enable(m.Core); err != nil {
@@ -226,10 +237,13 @@ func (m *Machine) wireObs(o obs.Options) {
 			}
 		})
 	}
+	tr.SetExitNamer(m.Cfg.Port.ExitName)
 	m.Core.Obs = tr
 	for i := 0; i < m.nctx; i++ {
 		if l := m.Core.LAPIC(cpu.ContextID(i)); l != nil {
-			l.SetObs(tr, i, fmt.Sprintf("lapic%d", i))
+			l.SetObs(tr, i, fmt.Sprintf("%s%d", m.Cfg.Port.IRQSectionPrefix(), i))
+			// The metric namespace stays "apic.ctx*" on every port: it
+			// names the per-context controller role, not the hardware.
 			l.Metrics(reg, fmt.Sprintf("apic.ctx%d", i))
 		}
 	}
@@ -251,21 +265,6 @@ func (m *Machine) wireObs(o obs.Options) {
 	reg.RegisterFunc("core.instructions", func() float64 { return float64(st.Instructions) })
 	reg.RegisterFunc("core.level_swaps", func() float64 { return float64(st.LevelSwaps) })
 	reg.RegisterFunc("core.injected_irqs", func() float64 { return float64(st.InjectedIRQs) })
-}
-
-// newVmcs01 builds the host-side VMCS for one L1 vCPU.
-func (m *Machine) newVmcs01(name string) *vmcs.VMCS {
-	v := vmcs.New(name)
-	v.VMLevel = 1
-	v.Write(vmcs.PinControls, vmcs.PinCtlExtIntExit)
-	v.Write(vmcs.ProcControls, vmcs.ProcCtlHLTExit|vmcs.ProcCtlUseMSRBitmap)
-	v.Write(vmcs.EPTPointer, EPTP01)
-	v.SetMSRExit(isa.MSRTSCDeadline, true)
-	v.Write(vmcs.HostRIP, 0xFFFF_8000_0000_0000)
-	if m.Cfg.Mode == hv.ModeHWSVt || m.Cfg.Mode == hv.ModeHWSVtBypass {
-		core.DefaultHierarchy().ConfigureVisorVMCS(v)
-	}
-	return v
 }
 
 // NewNested assembles the full three-level stack.
@@ -294,15 +293,8 @@ func NewNested(cfg Config) *Machine {
 	m.eptByVal[EPTP12] = m.Ept12
 
 	// VMCS triple.
-	vmcs01 := m.newVmcs01("vmcs01")
-	vmcs12 := vmcs.New("vmcs12")
-	vmcs12.VMLevel = 2
-	vmcs02 := vmcs.New("vmcs02")
-	vmcs02.VMLevel = 2
-	vmcs02.Write(vmcs.HostRIP, 0xFFFF_8000_0000_0000)
-	if cfg.Mode == hv.ModeHWSVt || cfg.Mode == hv.ModeHWSVtBypass {
-		core.DefaultHierarchy().ConfigureNestedVMCS(vmcs02)
-	}
+	vmcs01 := hv.NewVisorVMCS("vmcs01", EPTP01, cfg.Mode)
+	vmcs12, vmcs02 := hv.NewNestedVMCSPair(cfg.Mode)
 
 	// L2 runs on the last context (0 baseline/SW SVt, 2 HW SVt).
 	l2ctx := cpu.ContextID(0)
@@ -313,19 +305,10 @@ func NewNested(cfg Config) *Machine {
 
 	l2vcpu := hv.NewVCPU("L2.vcpu0", l2ctx, vmcs02, nil, 2)
 
-	m.Ns = &hv.NestedState{
-		Vmcs12:     vmcs12,
-		Vmcs12Addr: Vmcs12GPA,
-		Vmcs02:     vmcs02,
-		L2VCPU:     l2vcpu,
-		Xlat: func(f vmcs.Field, gpa uint64) (uint64, error) {
+	m.Ns = hv.NewNestedState(vmcs12, vmcs02, Vmcs12GPA, l2vcpu,
+		func(gpa uint64) (uint64, error) {
 			return m.Ept01.Translate(gpa, ept.PermR)
-		},
-		Forced: vmcs.ForcedControls{
-			Pin:      vmcs.PinCtlExtIntExit,
-			ForceMSR: []uint32{isa.MSRTSCDeadline},
-		},
-	}
+		})
 	m.Ns.OnEPTP = func(eptp12 uint64) {
 		inner := m.eptByVal[eptp12]
 		if inner == nil {
@@ -337,7 +320,7 @@ func NewNested(cfg Config) *Machine {
 		}
 		m.Ept02 = shadow
 		m.Core.RegisterEPT(EPTP02, shadow)
-		vmcs02.Write(vmcs.EPTPointer, EPTP02)
+		m.Ns.SetShadowEPTP(EPTP02)
 	}
 	m.Ns.OnINVEPT = func(eptp12 uint64) {
 		if m.Ept02 != nil {
@@ -348,13 +331,13 @@ func NewNested(cfg Config) *Machine {
 	// L1's vCPU record for L2: the guest hypervisor's own view.
 	m.VC12 = hv.NewVCPU("L1.vcpu-l2", 0, vmcs12, nil, 1)
 	m.VC12.VMCSAddr = Vmcs12GPA
-	m.VC12.VirtLAPIC = apic.New(100, m.Eng)
+	m.VC12.VirtLAPIC = m.Cfg.Port.NewIRQ(100, m.Eng)
 
 	// The main L1 vCPU: a native guest running the guest hypervisor.
 	m.L1Guest = cpu.NewNativeGuest("L1-main", m.Core, l1ctx, m.l1Body)
 	m.VcpuL1 = hv.NewVCPU("L1.vcpu0", l1ctx, vmcs01, m.L1Guest, 1)
 	m.VcpuL1.Nested = m.Ns
-	m.VcpuL1.VirtLAPIC = apic.New(10, m.Eng)
+	m.VcpuL1.VirtLAPIC = m.Cfg.Port.NewIRQ(10, m.Eng)
 	m.L1Guest.Port().VirtLAPIC = m.VcpuL1.VirtLAPIC
 
 	if cfg.Mode == hv.ModeSWSVt {
@@ -384,7 +367,7 @@ func must(err error) {
 // buildSWSVt creates the SVt-thread vCPU, the command rings and the
 // reflection channel (Figure 5).
 func (m *Machine) buildSWSVt() {
-	vmcs01b := m.newVmcs01("vmcs01-svt")
+	vmcs01b := hv.NewVisorVMCS("vmcs01-svt", EPTP01, m.Cfg.Mode)
 	m.SVtThread = &swsvt.SVtThread{VC12: m.VC12}
 	m.SVtGuest = cpu.NewNativeGuest("L1-svt-thread", m.Core, 1, func(p *cpu.Port) {
 		m.svtThreadSetup(p)
@@ -392,7 +375,7 @@ func (m *Machine) buildSWSVt() {
 	})
 	m.VcpuSVt = hv.NewVCPU("L1.vcpu1", 1, vmcs01b, m.SVtGuest, 1)
 	m.VcpuSVt.Nested = m.Ns
-	m.VcpuSVt.VirtLAPIC = apic.New(11, m.Eng)
+	m.VcpuSVt.VirtLAPIC = m.Cfg.Port.NewIRQ(11, m.Eng)
 	m.SVtGuest.Port().VirtLAPIC = m.VcpuSVt.VirtLAPIC
 
 	m.Chan = &swsvt.Channel{
@@ -481,26 +464,12 @@ func (m *Machine) l1Body(p *cpu.Port) {
 		m.Cfg.WireL1(m, h1, plat, p)
 	}
 
-	vc12 := m.VC12
-	v12 := vc12.VMCS
-
 	// Boot-time configuration of the nested VM. The VMPTRLD and the
 	// control/pointer writes trap into L0 (shadowing covers only plain
 	// guest state).
-	plat.Load(vc12)
-	plat.VMWrite(v12, vmcs.PinControls, vmcs.PinCtlExtIntExit)
-	plat.VMWrite(v12, vmcs.ProcControls, vmcs.ProcCtlHLTExit|vmcs.ProcCtlUseMSRBitmap)
-	// The guest hypervisor traps the nested VM's timer deadline, x2APIC
-	// EOI and ICR writes (no nested APICv on this generation) — the MSR
-	// bitmap page is L1's own memory, written without traps.
-	v12.SetMSRExit(isa.MSRTSCDeadline, true)
-	v12.SetMSRExit(isa.MSRX2APICEOI, true)
-	v12.SetMSRExit(isa.MSRX2APICICR, true)
-	plat.VMWrite(v12, vmcs.MSRBitmapAddr, MSRBitmapGPA)
-	plat.VMWrite(v12, vmcs.EPTPointer, EPTP12)
-	plat.VMWrite(v12, vmcs.GuestRIP, 0x1000)
+	hv.BootNestedVM(plat, m.VC12, MSRBitmapGPA, EPTP12, 0x1000)
 
-	h1.RunLoop(vc12)
+	h1.RunLoop(m.VC12)
 }
 
 // SetL2Workload installs the nested VM's workload program.
@@ -531,11 +500,11 @@ func (m *Machine) Shutdown() {
 // Now reports virtual time.
 func (m *Machine) Now() sim.Time { return m.Eng.Now() }
 
-// L2LAPIC returns the nested guest's virtual LAPIC, nil before InstallL2
-// has run. Snapshot capture reaches it through this accessor: the LAPIC
-// hangs off the native guest's port, which the machine otherwise keeps
-// private.
-func (m *Machine) L2LAPIC() *apic.LAPIC {
+// L2LAPIC returns the nested guest's virtual interrupt controller, nil
+// before InstallL2 has run. Snapshot capture reaches it through this
+// accessor: the controller hangs off the native guest's port, which the
+// machine otherwise keeps private.
+func (m *Machine) L2LAPIC() ports.IRQController {
 	if m.l2NativeGuest == nil {
 		return nil
 	}
@@ -555,9 +524,9 @@ func NewSingleLevel(cfg Config) *Machine {
 	must(m.Ept01.MapMisconfig(L1BlkMMIO, MMIOSize, DevL1Blk))
 	m.Core.RegisterEPT(EPTP01, m.Ept01)
 
-	v := m.newVmcs01("vmcs01")
+	v := hv.NewVisorVMCS("vmcs01", EPTP01, m.Cfg.Mode)
 	m.VcpuGuest = hv.NewVCPU("L1.vcpu0", 0, v, nil, 1)
-	m.VcpuGuest.VirtLAPIC = apic.New(10, m.Eng)
+	m.VcpuGuest.VirtLAPIC = m.Cfg.Port.NewIRQ(10, m.Eng)
 	if m.Obs != nil {
 		m.VcpuGuest.VirtLAPIC.SetObs(m.Obs.Tracer, 0, "L1.vcpu0.apic")
 		m.VcpuGuest.VirtLAPIC.Metrics(m.Obs.Metrics, "apic.l1")

@@ -22,9 +22,9 @@ import (
 func (t *Tracer) eventName(e Event) string {
 	switch e.Kind {
 	case KindVMExit, KindNestedExit:
-		return isa.ExitReason(e.Arg1).String()
+		return t.ExitName(isa.ExitReason(e.Arg1))
 	case KindReflect:
-		return "reflect " + isa.ExitReason(e.Arg1).String()
+		return "reflect " + t.ExitName(isa.ExitReason(e.Arg1))
 	case KindIRQ, KindIPI:
 		return fmt.Sprintf("%s 0x%02x", e.Kind, e.Arg1)
 	case KindFault:

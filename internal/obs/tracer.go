@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 
+	"svtsim/internal/isa"
 	"svtsim/internal/sim"
 )
 
@@ -92,6 +93,23 @@ type Tracer struct {
 	nctx   int
 	names  []string
 	tracks []*Ring
+	// exitName, when set, renders exit reasons in the architecture
+	// port's vocabulary (SetExitNamer); nil falls back to the shared
+	// isa names, which are the x86 spellings.
+	exitName func(r isa.ExitReason) string
+}
+
+// SetExitNamer installs the exit-reason renderer used by trace export.
+// The machine wires the active port's ExitName here so exported traces
+// speak the architecture's vocabulary; nil restores the isa names.
+func (t *Tracer) SetExitNamer(fn func(r isa.ExitReason) string) { t.exitName = fn }
+
+// ExitName renders one exit reason through the installed namer.
+func (t *Tracer) ExitName(r isa.ExitReason) string {
+	if t.exitName != nil {
+		return t.exitName(r)
+	}
+	return r.String()
 }
 
 // NewTracer builds a tracer for a machine with nctx hardware contexts

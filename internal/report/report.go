@@ -15,6 +15,7 @@ import (
 	"svtsim/internal/hv"
 	"svtsim/internal/isa"
 	"svtsim/internal/parallel"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 	"svtsim/internal/swsvt"
 )
@@ -302,19 +303,65 @@ func (rr *Renderer) Channels(w io.Writer, quick bool) {
 	fmt.Fprintln(w, "(paper: polling offers very little acceleration; mwait gives ~1.23x; NUMA ~10x wake cost)")
 }
 
-// Profiles renders the §6.2/§6.3 exit-reason profiles.
+// Profiles renders the §6.2/§6.3 exit-reason profiles. Exit reasons are
+// spelled and bucketed by the session's port: the x86 port reproduces
+// the paper's VT-x vocabulary, other ports substitute their own while
+// the class rollup stays comparable across architectures.
 func (rr *Renderer) Profiles(w io.Writer) {
 	hr(w, "Sections 6.2/6.3: L0 time by nested exit reason (netperf TCP_RR)")
 	res := rr.s.NetLatency(hv.ModeBaseline, 150)
 	p := res.ExitStats
+	port := rr.s.Port()
+	var classShare [ports.NumClasses]float64
+	var classExits [ports.NumClasses]uint64
 	for r := isa.ExitReason(0); r < isa.NumExitReasons; r++ {
 		if p.Count[r] == 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%-20s %8d exits %10.1f%% of nested handling time\n",
-			r.String(), p.Count[r], 100*p.Share(r))
+		c := port.Classify(r)
+		classShare[c] += p.Share(r)
+		classExits[c] += p.Count[r]
+		fmt.Fprintf(w, "%-20s %-11s %8d exits %10.1f%% of nested handling time\n",
+			port.ExitName(r), c.String(), p.Count[r], 100*p.Share(r))
 	}
+	fmt.Fprintf(w, "by class (%s):", port.Name())
+	for c := ports.Class(0); c < ports.NumClasses; c++ {
+		if classExits[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %s %.1f%%", c.String(), 100*classShare[c])
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintln(w, "(paper, memcached: EPT_MISCONFIG 4.8-19.3% and MSR_WRITE 0.5-4.6% of overall time)")
+}
+
+// Ports renders the cross-ISA comparison: the nested TCP_RR workload
+// under every requested architecture port (empty = all registered) and
+// all four system variants, one table from one invocation. Exit counts
+// are bucketed by each port's own taxonomy, so the rows stay comparable
+// even though the ports speak different exit vocabularies.
+func (rr *Renderer) Ports(w io.Writer, portNames []string, n int) error {
+	cmp, err := rr.s.ComparePorts(portNames, n)
+	if err != nil {
+		return err
+	}
+	hr(w, "Cross-ISA comparison: nested netperf TCP_RR per port and mode")
+	fmt.Fprintf(w, "%-8s %-14s %8s %9s %9s %9s %8s  %s\n",
+		"port", "mode", "exits", "mean(us)", "p50(us)", "p99(us)", "speedup", "exits by class")
+	for _, row := range cmp.Rows {
+		for _, c := range row {
+			var classes []string
+			for cl := ports.Class(0); cl < ports.NumClasses; cl++ {
+				if c.ByClass[cl] > 0 {
+					classes = append(classes, fmt.Sprintf("%s %d", cl, c.ByClass[cl]))
+				}
+			}
+			fmt.Fprintf(w, "%-8s %-14s %8d %9.2f %9.2f %9.2f %7.2fx  %s\n",
+				c.Port, c.Mode, c.Exits, c.MeanUs, c.P50Us, c.P99Us, c.Speedup,
+				strings.Join(classes, ", "))
+		}
+	}
+	return nil
 }
 
 // ChannelsRef quiets an unused-import edge when building subsets.

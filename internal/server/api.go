@@ -24,6 +24,7 @@ import (
 	"svtsim/internal/fault"
 	"svtsim/internal/host"
 	"svtsim/internal/hv"
+	"svtsim/internal/ports"
 	"svtsim/internal/uerr"
 )
 
@@ -65,6 +66,11 @@ type Request struct {
 	Topology string   `json:"topology,omitempty"`
 	Shards   int      `json:"shards,omitempty"`
 	Seed     int64    `json:"seed,omitempty"`
+
+	// Port selects the architecture backend. Canonical form spells the
+	// default x86 port as "" (omitted from JSON), so every digest minted
+	// before the ports layer existed still addresses the same result.
+	Port string `json:"port,omitempty"`
 
 	// Density / storm / lb knobs.
 	VMs      int     `json:"vms,omitempty"`
@@ -135,6 +141,17 @@ func (r *Request) Canonicalize() error {
 			return err
 		}
 		r.Modes[i] = m.String()
+	}
+
+	// The default port's canonical spelling is "": requests minted
+	// before the ports layer existed carried no port field, and their
+	// digests must keep addressing the same cached results forever.
+	p, err := ports.Parse(r.Port)
+	if err != nil {
+		return err
+	}
+	if r.Port = p.Name(); r.Port == ports.DefaultName {
+		r.Port = ""
 	}
 
 	if err := r.canonFaults(); err != nil {

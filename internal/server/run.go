@@ -16,6 +16,7 @@ import (
 	"svtsim/internal/exp"
 	"svtsim/internal/host"
 	"svtsim/internal/obs"
+	"svtsim/internal/ports"
 	"svtsim/internal/sim"
 )
 
@@ -25,6 +26,11 @@ import (
 // every run).
 func sessionFor(req *Request, simWorkers int) (*exp.Session, error) {
 	es := exp.NewSession()
+	p, err := ports.Parse(req.Port)
+	if err != nil {
+		return nil, err
+	}
+	es.SetPort(p)
 	topo, err := host.ParseTopology(req.Topology)
 	if err != nil {
 		return nil, err
@@ -142,6 +148,10 @@ func (s *Server) execute(ctx context.Context, j *job) (*cacheEntry, error) {
 // a CLI affair — the server reports verdicts, it does not own a disk
 // corpus.
 func runCheck(ctx context.Context, req *Request, pr exp.ProgressFunc) ([]string, error) {
+	p, err := ports.Parse(req.Port)
+	if err != nil {
+		return nil, err
+	}
 	var lines []string
 	failures := 0
 	for i := 0; i < req.Schedules; i++ {
@@ -149,7 +159,7 @@ func runCheck(ctx context.Context, req *Request, pr exp.ProgressFunc) ([]string,
 			return nil, err
 		}
 		seed := req.Seed + int64(i)
-		v := check.CheckSchedule(check.Generate(seed), nil)
+		v := check.CheckSchedule(check.Generate(seed), &check.RunOpts{Port: p})
 		if v.Failed() {
 			failures++
 		}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"svtsim/internal/apic"
 	"svtsim/internal/blk"
 	"svtsim/internal/cpu"
 	"svtsim/internal/ept"
@@ -13,6 +12,7 @@ import (
 	"svtsim/internal/isa"
 	"svtsim/internal/machine"
 	"svtsim/internal/mem"
+	"svtsim/internal/ports"
 	"svtsim/internal/swsvt"
 	"svtsim/internal/virtio"
 	"svtsim/internal/vmcs"
@@ -79,9 +79,10 @@ func plan(m *machine.Machine, io *machine.IOStack) []entry {
 		t := t
 		add("ept/"+t.name, func(w *writer) { putEPT(w, t.t) }, func(r *reader) { getEPT(r, t.t) })
 	}
-	for _, l := range lapicList(m, nctx) {
+	irqPrefix := m.Cfg.Port.IRQSectionPrefix()
+	for _, l := range irqList(m, nctx) {
 		l := l
-		add("lapic/"+l.name, func(w *writer) { putLAPIC(w, l.l) }, func(r *reader) { getLAPIC(r, l.l) })
+		add(irqPrefix+"/"+l.name, func(w *writer) { putIRQ(w, l.l) }, func(r *reader) { getIRQ(r, l.l) })
 	}
 	for _, v := range vcpuList(m) {
 		v := v
@@ -239,16 +240,16 @@ func eptList(m *machine.Machine) []namedEPT {
 	return ts
 }
 
-type namedLAPIC struct {
+type namedIRQ struct {
 	name string
-	l    *apic.LAPIC
+	l    ports.IRQController
 }
 
-func lapicList(m *machine.Machine, nctx int) []namedLAPIC {
-	var ls []namedLAPIC
-	add := func(name string, l *apic.LAPIC) {
+func irqList(m *machine.Machine, nctx int) []namedIRQ {
+	var ls []namedIRQ
+	add := func(name string, l ports.IRQController) {
 		if l != nil {
-			ls = append(ls, namedLAPIC{name, l})
+			ls = append(ls, namedIRQ{name, l})
 		}
 	}
 	for c := 0; c < nctx; c++ {
@@ -406,23 +407,19 @@ func getEPT(r *reader, t *ept.Table) {
 	}
 }
 
-func putLAPIC(w *writer, l *apic.LAPIC) {
-	st := l.SaveState()
-	w.word(uint64(len(st.Pending)))
-	for _, v := range st.Pending {
-		w.word(uint64(v))
-	}
-	w.time(st.Deadline)
+// putIRQ/getIRQ delegate to the port's own codec. For the x86 port the
+// words (pending count, pending vectors ascending, deadline) and the
+// "lapic/..." section names are byte-identical to the pre-ports format.
+func putIRQ(w *writer, l ports.IRQController) {
+	w.words = append(w.words, l.SaveWords()...)
 }
 
-func getLAPIC(r *reader, l *apic.LAPIC) {
-	var st apic.State
-	for i, n := 0, r.count(1); i < n; i++ {
-		st.Pending = append(st.Pending, int(r.word()))
-	}
-	st.Deadline = r.time()
+func getIRQ(r *reader, l ports.IRQController) {
+	ws := r.rest()
 	if r.err == nil {
-		l.LoadState(st)
+		if err := l.LoadWords(ws); err != nil {
+			r.err = err
+		}
 	}
 }
 

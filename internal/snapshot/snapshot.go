@@ -206,6 +206,17 @@ func (r *reader) count(per int) int {
 	return int(n)
 }
 
+// rest consumes and returns every remaining word of the section (for
+// codecs that self-describe their length, like the port IRQ codec).
+func (r *reader) rest() []uint64 {
+	if r.err != nil {
+		return nil
+	}
+	ws := r.sec[r.pos:]
+	r.pos = len(r.sec)
+	return ws
+}
+
 func (r *reader) fin() error {
 	if r.err != nil {
 		return r.err

@@ -6,6 +6,7 @@ import (
 	"svtsim/internal/exp"
 	"svtsim/internal/host"
 	"svtsim/internal/hv"
+	"svtsim/internal/ports"
 	"svtsim/internal/report"
 )
 
@@ -44,6 +45,19 @@ func ParseHostTopology(s string) (HostTopology, error) { return host.ParseTopolo
 
 // DefaultHostParams returns the calibrated host cost model.
 func DefaultHostParams() HostParams { return host.DefaultParams() }
+
+// --- Architecture ports ------------------------------------------------
+
+// PortNames lists the registered architecture ports in sorted order
+// ("armlike", "x86").
+func PortNames() []string { return ports.Names() }
+
+// PortCell is one port x mode measurement of the cross-ISA comparison.
+type PortCell = exp.PortCell
+
+// PortComparison is the cross-ISA comparison grid: one row per port,
+// cells across the four system variants.
+type PortComparison = exp.PortComparison
 
 // --- Session ----------------------------------------------------------
 
@@ -90,6 +104,22 @@ func WithHostTopology(t HostTopology) Option {
 // WithHostParams overrides the host-level cost model.
 func WithHostParams(p HostParams) Option {
 	return func(s *exp.Session) error { s.SetHostParams(p); return nil }
+}
+
+// WithPort selects the architecture port backing the session's machines
+// by registry name ("" and "x86" both select the default VT-x/LAPIC
+// model; "armlike" selects the EL2/vGIC-style model). The port's
+// calibrated cost model, exit vocabulary, and interrupt controller come
+// with it.
+func WithPort(name string) Option {
+	return func(s *exp.Session) error {
+		p, err := ports.Parse(name)
+		if err != nil {
+			return err
+		}
+		s.SetPort(p)
+		return nil
+	}
 }
 
 // WithShards sets the virtual-time engine shard count used by the
@@ -142,6 +172,20 @@ func (s *Session) SetHostTopology(t HostTopology) error { return s.exp.SetTopolo
 
 // HostTopology reports the session's host topology.
 func (s *Session) HostTopology() HostTopology { return s.exp.Topology() }
+
+// SetPort selects the architecture port for the session's subsequent
+// runs by registry name ("" restores the default x86 port).
+func (s *Session) SetPort(name string) error {
+	p, err := ports.Parse(name)
+	if err != nil {
+		return err
+	}
+	s.exp.SetPort(p)
+	return nil
+}
+
+// Port reports the name of the session's architecture port.
+func (s *Session) Port() string { return s.exp.Port().Name() }
 
 // --- Session experiments: one method per paper table/figure ------------
 
@@ -203,6 +247,13 @@ func (s *Session) VideoN(mode Mode, fps, frames int) VideoResult {
 // ChannelStudy sweeps the SW SVt wait policies and placements (§6.1).
 func (s *Session) ChannelStudy(n int, workloads []Time) []ChannelPoint {
 	return s.exp.ChannelStudy(n, workloads)
+}
+
+// ComparePorts runs the nested TCP_RR workload (n transactions) for
+// every named architecture port (empty = all registered) across all four
+// system variants and returns the cross-ISA grid.
+func (s *Session) ComparePorts(portNames []string, n int) (*PortComparison, error) {
+	return s.exp.ComparePorts(portNames, n)
 }
 
 // FaultSweep runs the nested cpuid workload with the given fault spec
@@ -327,4 +378,11 @@ func (s *Session) ReportProfiles(w io.Writer) { s.rep.Profiles(w) }
 // and the max density meeting the p99 SLO.
 func (s *Session) ReportDensity(w io.Writer, kmax int, sloUs float64) {
 	s.rep.Density(w, kmax, sloUs)
+}
+
+// ReportPorts prints the cross-ISA comparison table: every named port
+// (empty = all registered) under all four system variants, with exit
+// counts bucketed by each port's taxonomy.
+func (s *Session) ReportPorts(w io.Writer, portNames []string, n int) error {
+	return s.rep.Ports(w, portNames, n)
 }

@@ -32,6 +32,7 @@ import (
 	"svtsim/internal/machine"
 	"svtsim/internal/obs"
 	"svtsim/internal/parallel"
+	"svtsim/internal/ports"
 	"svtsim/internal/report"
 	"svtsim/internal/sim"
 	"svtsim/internal/snapshot"
@@ -328,6 +329,18 @@ func ReportProfiles(w io.Writer) { report.Profiles(w) }
 // returns the number of inequivalent schedules found.
 func CheckSchedules(w io.Writer, n int, seed int64, dir string) int {
 	return check.RunBudget(w, n, seed, dir)
+}
+
+// CheckSchedulesPort is CheckSchedules on a named architecture port
+// ("" or "x86" checks the default port): the oracle asserts
+// mode-equivalence within that port. Ports are never compared against
+// each other — they charge different costs by design.
+func CheckSchedulesPort(w io.Writer, n int, seed int64, dir, port string) (int, error) {
+	p, err := ports.Parse(port)
+	if err != nil {
+		return 0, err
+	}
+	return check.RunBudgetOpts(w, n, seed, dir, &check.RunOpts{Port: p}), nil
 }
 
 // ReplaySchedule decodes a schedule file (as written by CheckSchedules
